@@ -1,0 +1,86 @@
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Every bench regenerates one table or figure of the StarCDN paper: it
+// prints the same rows/series the paper reports (plus a CSV dump under
+// bench_results/) at a reduced, single-machine scale. EXPERIMENTS.md maps
+// each output to the paper's numbers.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/simulator.h"
+#include "orbit/constellation.h"
+#include "sched/scheduler.h"
+#include "trace/workload.h"
+#include "util/geo.h"
+#include "util/table.h"
+
+namespace starcdn::bench {
+
+/// Directory for CSV dumps; created on demand, failures ignored.
+inline std::string results_dir() {
+  const std::string dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+inline void banner(const std::string& what, const std::string& paper_ref) {
+  std::cout << "\n################################################\n"
+            << "# StarCDN reproduction: " << what << "\n"
+            << "# Paper reference: " << paper_ref << "\n"
+            << "################################################\n";
+}
+
+/// The evaluation scenario shared by the hit-rate/latency benches:
+/// the paper's nine cities, the 72x18 Starlink shell, a one-day video
+/// trace, and a 15-second link schedule. Heavyweight members are built
+/// once and reused across capacity sweeps.
+struct VideoScenario {
+  explicit VideoScenario(double duration_s = util::kDay,
+                         double scale = 1.0) {
+    params = trace::default_params(trace::TrafficClass::kVideo);
+    params.duration_s = duration_s;
+    params.requests_per_weight = static_cast<std::size_t>(
+        static_cast<double>(params.requests_per_weight) * scale);
+    workload = std::make_unique<trace::WorkloadModel>(util::paper_cities(),
+                                                      params);
+    requests = trace::merge_by_time(workload->generate());
+    shell = std::make_unique<orbit::Constellation>(orbit::WalkerParams{});
+    schedule = std::make_unique<sched::LinkSchedule>(
+        *shell, util::paper_cities(), duration_s);
+    std::printf("scenario: %zu requests / %.1f TB over %zu cities, %zu epochs\n",
+                requests.size(), total_bytes() / 1e12,
+                util::paper_cities().size(), schedule->epochs());
+  }
+
+  [[nodiscard]] double total_bytes() const {
+    double b = 0.0;
+    for (const auto& r : requests) b += static_cast<double>(r.size);
+    return b;
+  }
+
+  trace::WorkloadParams params;
+  std::unique_ptr<trace::WorkloadModel> workload;
+  std::vector<trace::Request> requests;
+  std::unique_ptr<orbit::Constellation> shell;
+  std::unique_ptr<sched::LinkSchedule> schedule;
+};
+
+/// Capacity axis used for the hit-rate curves. The paper sweeps 10-100 GB
+/// against ~430 GB/day of per-satellite traffic; we sweep the same
+/// *pressure ratios* against our reduced per-satellite traffic, so the
+/// curves cover the same regime (see EXPERIMENTS.md, "scale mapping").
+inline const std::vector<std::pair<std::string, util::Bytes>>&
+capacity_axis() {
+  static const std::vector<std::pair<std::string, util::Bytes>> axis = {
+      {"10", util::gib(1)},  {"20", util::gib(2)},  {"40", util::gib(4)},
+      {"60", util::gib(8)},  {"80", util::gib(16)}, {"100", util::gib(32)},
+  };
+  return axis;
+}
+
+}  // namespace starcdn::bench

@@ -1,0 +1,69 @@
+// Fig. 11: fault tolerance — hit rate of satellites grouped by how many
+// hash-bucket slots they serve after failure remapping (9.7% of slots out
+// of service, the rate the paper measured from real constellation data).
+#include <map>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace starcdn;
+  bench::banner("Fig. 11 — hit rate vs buckets served under failures",
+                "Fig. 11, Section 5.4");
+
+  // Knock out 9.7% of slots (126 of 1296) as in §5.4.
+  auto shell = std::make_unique<orbit::Constellation>(orbit::WalkerParams{});
+  util::Rng rng(2025);
+  shell->knock_out_random(0.097, rng);
+
+  const bench::VideoScenario base;  // reuse the trace; rebuild the schedule
+  const sched::LinkSchedule schedule(*shell, util::paper_cities(),
+                                     base.params.duration_s);
+
+  core::SimConfig cfg;
+  cfg.cache_capacity = util::gib(8);  // the paper's 50 GB point
+  cfg.buckets = 9;
+  cfg.sample_latency = false;
+  cfg.track_per_satellite = true;
+  core::Simulator sim(*shell, schedule, cfg);
+  sim.add_variant(core::Variant::kStarCdn);
+  sim.run(base.requests);
+
+  const auto& m = sim.metrics(core::Variant::kStarCdn);
+  const auto served = sim.buckets_served_per_satellite();
+
+  struct Group {
+    std::uint64_t requests = 0, hits = 0;
+    util::Bytes bytes = 0, bytes_hit = 0;
+    int satellites = 0;
+  };
+  std::map<int, Group> groups;
+  for (int i = 0; i < shell->size(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!shell->active(i) || m.sat_requests[idx] == 0) continue;
+    Group& g = groups[served[idx]];
+    g.requests += m.sat_requests[idx];
+    g.hits += m.sat_hits[idx];
+    g.bytes += m.sat_bytes_requested[idx];
+    g.bytes_hit += m.sat_bytes_hit[idx];
+    ++g.satellites;
+  }
+
+  util::TextTable table({"Buckets served", "Satellites", "Request hit rate",
+                         "Byte hit rate"});
+  for (const auto& [count, g] : groups) {
+    table.add_row({std::to_string(count), std::to_string(g.satellites),
+                   util::fmt_pct(static_cast<double>(g.hits) /
+                                 static_cast<double>(g.requests)),
+                   util::fmt_pct(static_cast<double>(g.bytes_hit) /
+                                 static_cast<double>(g.bytes))});
+  }
+  table.print(std::cout, "Fig. 11: per-satellite hit rate by load");
+  table.write_csv(bench::results_dir() + "/fig11_fault_tolerance.csv");
+  std::printf(
+      "\nOverall under 9.7%% failures: request hit rate %.1f%%, uplink saving "
+      "%.1f%% (paper: still saves 74%% of uplink).\n"
+      "Paper shape: hit rate drops with buckets served (up to ~7 points\n"
+      "request / ~5 points byte), but degradation is graceful.\n",
+      100.0 * m.request_hit_rate(), 100.0 * (1.0 - m.normalized_uplink()));
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 12: request/byte hit-rate curves for the web and download traffic
+// classes (video covered by Fig. 7), StarCDN at L=4 and L=9 against the
+// Static Cache bound and the LRU baseline.
+#include "bench_common.h"
+
+int main() {
+  using namespace starcdn;
+  bench::banner("Fig. 12 — web and download traffic classes",
+                "Fig. 12a-12d, Section 5.5");
+
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+
+  for (const auto traffic_class :
+       {trace::TrafficClass::kWeb, trace::TrafficClass::kDownload}) {
+    auto params = trace::default_params(traffic_class);
+    params.duration_s = util::kDay;
+    const trace::WorkloadModel workload(util::paper_cities(), params);
+    const auto requests = trace::merge_by_time(workload.generate());
+    const sched::LinkSchedule schedule(shell, util::paper_cities(),
+                                       params.duration_s);
+    std::printf("\n[%s] %zu requests, %.2f TB\n", to_string(traffic_class),
+                requests.size(), [&] {
+                  double b = 0;
+                  for (const auto& r : requests) b += static_cast<double>(r.size);
+                  return b / 1e12;
+                }());
+
+    util::TextTable rhr({"Cache(GB)", "Static", "StarCDN L=9", "StarCDN L=4",
+                         "LRU"});
+    util::TextTable bhr({"Cache(GB)", "Static", "StarCDN L=9", "StarCDN L=4",
+                         "LRU"});
+    // Web/download footprints are far smaller than video (§5.5: "hit rate
+    // curves increase more gradually"), so the pressure range sits lower.
+    for (const auto& [label, capacity] :
+         std::vector<std::pair<std::string, util::Bytes>>{
+             {"10", util::mib(96)},
+             {"20", util::mib(192)},
+             {"30", util::mib(384)},
+             {"40", util::mib(768)},
+             {"50", util::gib(1.5)}}) {
+      // L=4 and L=9 need separate simulators (bucket layout differs);
+      // Static/LRU are L-independent and taken from the first.
+      std::map<std::string, std::pair<double, double>> out;
+      for (const int buckets : {9, 4}) {
+        core::SimConfig cfg;
+        cfg.cache_capacity = capacity;
+        cfg.buckets = buckets;
+        cfg.sample_latency = false;
+        core::Simulator sim(shell, schedule, cfg);
+        sim.add_variant(core::Variant::kStarCdn);
+        if (buckets == 9) {
+          sim.add_variant(core::Variant::kStatic);
+          sim.add_variant(core::Variant::kVanillaLru);
+        }
+        sim.run(requests);
+        const auto& m = sim.metrics(core::Variant::kStarCdn);
+        out["StarCDN L=" + std::to_string(buckets)] = {m.request_hit_rate(),
+                                                       m.byte_hit_rate()};
+        if (buckets == 9) {
+          const auto& st = sim.metrics(core::Variant::kStatic);
+          const auto& lru = sim.metrics(core::Variant::kVanillaLru);
+          out["Static"] = {st.request_hit_rate(), st.byte_hit_rate()};
+          out["LRU"] = {lru.request_hit_rate(), lru.byte_hit_rate()};
+        }
+      }
+      rhr.add_row({label, util::fmt_pct(out["Static"].first),
+                   util::fmt_pct(out["StarCDN L=9"].first),
+                   util::fmt_pct(out["StarCDN L=4"].first),
+                   util::fmt_pct(out["LRU"].first)});
+      bhr.add_row({label, util::fmt_pct(out["Static"].second),
+                   util::fmt_pct(out["StarCDN L=9"].second),
+                   util::fmt_pct(out["StarCDN L=4"].second),
+                   util::fmt_pct(out["LRU"].second)});
+    }
+    const std::string cls = to_string(traffic_class);
+    rhr.print(std::cout, "Fig. 12 request hit rate — " + cls);
+    bhr.print(std::cout, "Fig. 12 byte hit rate — " + cls);
+    rhr.write_csv(bench::results_dir() + "/fig12_rhr_" + cls + ".csv");
+    bhr.write_csv(bench::results_dir() + "/fig12_bhr_" + cls + ".csv");
+  }
+  std::cout <<
+      "\nPaper shapes: StarCDN clearly above LRU for both classes (byte hit\n"
+      "rate boost >30% for downloads); L=9 above L=4; Static is the bound;\n"
+      "curves rise more gradually than video.\n";
+  return 0;
+}

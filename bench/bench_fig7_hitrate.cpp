@@ -1,0 +1,63 @@
+// Fig. 7: request and byte hit-rate curves for the five architectures
+// (Static Cache, StarCDN, StarCDN-Fetch, StarCDN-Hashing, Vanilla LRU) at
+// L = 4 and L = 9 across the cache-size axis.
+#include "bench_common.h"
+
+int main() {
+  using namespace starcdn;
+  bench::banner("Fig. 7 — hit-rate curves (5 variants, L=4 and L=9)",
+                "Fig. 7a-7d, Section 5.2");
+  const bench::VideoScenario scenario;
+
+  struct Cell {
+    double rhr[5];
+    double bhr[5];
+  };
+  const std::vector<core::Variant> order = {
+      core::Variant::kStatic, core::Variant::kStarCdn,
+      core::Variant::kHashOnly, core::Variant::kRelayOnly,
+      core::Variant::kVanillaLru};
+  const std::vector<std::string> names = {"Static", "StarCDN", "StarCDN-Fetch",
+                                          "StarCDN-Hashing", "LRU"};
+
+  for (const int buckets : {4, 9}) {
+    util::TextTable rhr_table({"Cache(GB)", names[0], names[1], names[2],
+                               names[3], names[4]});
+    util::TextTable bhr_table({"Cache(GB)", names[0], names[1], names[2],
+                               names[3], names[4]});
+    for (const auto& [label, capacity] : bench::capacity_axis()) {
+      core::SimConfig cfg;
+      cfg.cache_capacity = capacity;
+      cfg.buckets = buckets;
+      cfg.sample_latency = false;
+      core::Simulator sim(*scenario.shell, *scenario.schedule, cfg);
+      for (const auto v : order) sim.add_variant(v);
+      sim.run(scenario.requests);
+
+      std::vector<std::string> rhr_row{label}, bhr_row{label};
+      for (const auto v : order) {
+        rhr_row.push_back(util::fmt_pct(sim.metrics(v).request_hit_rate()));
+        bhr_row.push_back(util::fmt_pct(sim.metrics(v).byte_hit_rate()));
+      }
+      rhr_table.add_row(std::move(rhr_row));
+      bhr_table.add_row(std::move(bhr_row));
+    }
+    const std::string suffix = "L" + std::to_string(buckets);
+    rhr_table.print(std::cout, "Fig. 7 request hit rate, L=" +
+                                   std::to_string(buckets));
+    bhr_table.print(std::cout,
+                    "Fig. 7 byte hit rate, L=" + std::to_string(buckets));
+    rhr_table.write_csv(bench::results_dir() + "/fig7_rhr_" + suffix + ".csv");
+    bhr_table.write_csv(bench::results_dir() + "/fig7_bhr_" + suffix + ".csv");
+  }
+
+  std::cout <<
+      "\nPaper shapes to verify:\n"
+      "  * ordering StarCDN > StarCDN-Fetch > StarCDN-Hashing > LRU at every size\n"
+      "  * Static Cache is the north-star upper bound at larger caches\n"
+      "    (at small caches our reduced scale concentrates static load; see\n"
+      "    EXPERIMENTS.md)\n"
+      "  * StarCDN-vs-LRU gap ~11-15 points (paper: 15 max at L=9)\n"
+      "  * L=9 strictly above L=4 for the hashed variants\n";
+  return 0;
+}

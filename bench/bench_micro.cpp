@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark): throughput of the hot paths — cache
+// operations, bucket hashing, orbital propagation, visibility, codec, and
+// the SpaceGEN byte stack.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.h"
+#include "core/bucket_mapper.h"
+#include "net/codec.h"
+#include "orbit/constellation.h"
+#include "orbit/visibility.h"
+#include "trace/bytestack.h"
+#include "util/geo.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace starcdn;
+
+void BM_CacheAccess(benchmark::State& state) {
+  const auto policy = static_cast<cache::Policy>(state.range(0));
+  const auto cache = cache::make_cache(policy, util::mib(64));
+  util::Rng rng(1);
+  std::vector<cache::ObjectId> ids(1 << 16);
+  for (auto& id : ids) id = rng.below(20'000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache->access(ids[i++ & (ids.size() - 1)], 4096));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(cache::to_string(policy));
+}
+BENCHMARK(BM_CacheAccess)->DenseRange(0, 5)->Unit(benchmark::kNanosecond);
+
+void BM_BucketMapping(benchmark::State& state) {
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  const core::BucketMapper mapper(shell, static_cast<int>(state.range(0)));
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    const int b = mapper.bucket_of_object(++id);
+    benchmark::DoNotOptimize(
+        mapper.owner({static_cast<int>(id % 72), static_cast<int>(id % 18)}, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BucketMapping)->Arg(4)->Arg(9)->Arg(25);
+
+void BM_Propagation(benchmark::State& state) {
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 15.0;
+    benchmark::DoNotOptimize(shell.position_ecef({31, 7}, t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Propagation);
+
+void BM_VisibilitySweep(benchmark::State& state) {
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  const orbit::VisibilityOracle oracle(25.0);
+  const auto positions = shell.all_positions_ecef(0.0);
+  const util::GeoCoord ny{40.71, -74.01};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.visible(ny, shell, positions));
+  }
+  state.SetItemsProcessed(state.iterations() * shell.size());
+}
+BENCHMARK(BM_VisibilitySweep);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  net::Message m;
+  m.type = net::MessageType::kRequest;
+  m.object_id = 42;
+  m.payload.assign(static_cast<std::size_t>(state.range(0)), 'x');
+  net::FrameDecoder decoder;
+  for (auto _ : state) {
+    const auto bytes = net::encode(m);
+    decoder.feed(bytes);
+    benchmark::DoNotOptimize(decoder.next());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          (static_cast<std::int64_t>(state.range(0)) + 48));
+}
+BENCHMARK(BM_CodecRoundTrip)->Arg(0)->Arg(1024)->Arg(65536);
+
+void BM_ByteStackAlgorithm1Step(benchmark::State& state) {
+  // Algorithm 1's inner loop: pop the top, reinsert at a sampled depth.
+  trace::ByteStack stack;
+  util::Rng rng(7);
+  for (int i = 0; i < state.range(0); ++i) {
+    trace::StackItem item;
+    item.object = static_cast<trace::ObjectId>(i);
+    item.size = 1 + rng.below(1'000'000);
+    item.popularity = 1'000'000;  // never retires during the benchmark
+    stack.push_back(item);
+  }
+  const util::Bytes total = stack.total_bytes();
+  for (auto _ : state) {
+    auto item = stack.pop_front();
+    ++item.emitted;
+    stack.insert_at_depth(rng.below(total), item);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ByteStackAlgorithm1Step)->Arg(1'000)->Arg(100'000);
+
+void BM_Splitmix(benchmark::State& state) {
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x = util::splitmix64(x + 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Splitmix);
+
+}  // namespace
+
+BENCHMARK_MAIN();

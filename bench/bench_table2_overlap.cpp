@@ -1,0 +1,42 @@
+// Table 2: percent of objects (traffic) accessed in one European country
+// that are also accessed in another — the language-diversity effect that
+// makes orbital motion expensive.
+#include "bench_common.h"
+
+#include "trace/workload.h"
+
+int main() {
+  using namespace starcdn;
+  bench::banner("Table 2 — cross-country content overlap",
+                "Table 2, Section 3.1.1");
+
+  auto params = trace::default_params(trace::TrafficClass::kVideo);
+  params.duration_s = util::kDay;
+  const trace::WorkloadModel workload(util::paper_cities(), params);
+  const auto traces = workload.generate();
+
+  // Britain=London(5), Germany=Frankfurt(6), Turkey=Istanbul(8).
+  const std::vector<std::pair<std::string, std::size_t>> countries = {
+      {"Britain", 5}, {"Germany", 6}, {"Turkey", 8}};
+
+  util::TextTable table({"", "Britain", "Germany", "Turkey"});
+  for (const auto& [row_name, row_idx] : countries) {
+    std::vector<std::string> cells{row_name};
+    for (const auto& [col_name, col_idx] : countries) {
+      if (row_idx == col_idx) {
+        cells.push_back("100%");
+        continue;
+      }
+      const auto r = trace::overlap(traces[row_idx], traces[col_idx]);
+      cells.push_back(util::fmt_pct(r.object_overlap, 0) + "(" +
+                      util::fmt_pct(r.traffic_overlap, 0) + ")");
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout, "Table 2: objects%(traffic%) overlap");
+  table.write_csv(bench::results_dir() + "/table2_overlap.csv");
+  std::cout << "Paper: GB->DE 11%(49%)  GB->TR 2%(15%)  DE->GB 16%(45%)\n"
+               "       DE->TR 4%(31%)   TR->GB 23%(37%) TR->DE 34%(72%)\n"
+               "Takeaway to reproduce: overlap is LOW across languages.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Constellation explorer: inspect the orbital substrate — shell geometry,
+// ground tracks, visibility from any city, ISL health, and bucket layout.
+//
+//   $ ./constellation_explorer [lat lon]
+//
+// Defaults to New York. Demonstrates the orbit/net/core substrate APIs
+// without any CDN simulation.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bucket_mapper.h"
+#include "net/isl_graph.h"
+#include "net/link.h"
+#include "orbit/constellation.h"
+#include "orbit/visibility.h"
+#include "util/geo.h"
+
+int main(int argc, char** argv) {
+  using namespace starcdn;
+
+  util::GeoCoord where{40.71, -74.01};
+  if (argc >= 3) {
+    where.lat_deg = std::atof(argv[1]);
+    where.lon_deg = std::atof(argv[2]);
+  }
+
+  // The Starlink 53-degree shell.
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  std::printf("Shell: %d planes x %d slots = %d satellites @ %.0f km, %.0f deg\n",
+              shell.planes(), shell.slots_per_plane(), shell.size(),
+              shell.params().altitude_km, shell.params().inclination_deg);
+  std::printf("Orbital period: %.1f min\n",
+              orbit::orbital_period_s(shell.elements({0, 0})) / 60.0);
+
+  // Who can this user see right now, and over the next 10 minutes?
+  const orbit::VisibilityOracle oracle(25.0);
+  std::printf("\nVisibility from (%.2f, %.2f), 25 deg mask:\n", where.lat_deg,
+              where.lon_deg);
+  for (double t = 0.0; t <= 600.0; t += 120.0) {
+    const auto visible =
+        oracle.visible(where, shell, shell.all_positions_ecef(t));
+    std::printf("  t=%3.0fs: %2zu satellites in view", t, visible.size());
+    if (!visible.empty()) {
+      const auto id = shell.id_of(visible.front().sat_index);
+      std::printf("; best (plane %2d, slot %2d) el=%.0f deg range=%.0f km",
+                  id.plane, id.slot, visible.front().elevation_deg,
+                  visible.front().range_km);
+    }
+    std::printf("\n");
+  }
+
+  // Ground track of one satellite across half an orbit.
+  std::printf("\nGround track of satellite (0,0):\n");
+  for (double t = 0.0; t <= 2'880.0; t += 480.0) {
+    const auto g = orbit::ground_track_point(shell.elements({0, 0}), t);
+    std::printf("  t=%4.0fs  lat %6.1f  lon %7.1f\n", t, g.lat_deg, g.lon_deg);
+  }
+
+  // ISL fabric and link delays.
+  const net::IslGraph graph(shell);
+  const auto delays = net::measure_link_delays(shell, {where}, 300.0, 60.0);
+  std::printf("\nISL fabric: %zu links, %d broken\n", graph.edges().size(),
+              graph.broken_edge_count());
+  std::printf("  intra-orbit hop: %.2f ms   inter-orbit hop: %.2f ms   "
+              "GSL: %.2f ms\n",
+              delays.intra_orbit_isl.mean(), delays.inter_orbit_isl.mean(),
+              delays.gsl.mean());
+
+  // StarCDN bucket layout seen from this user's best satellite.
+  const core::BucketMapper mapper(shell, 4);
+  const auto visible = oracle.visible(where, shell, shell.all_positions_ecef(0));
+  if (!visible.empty()) {
+    const auto fc = shell.id_of(visible.front().sat_index);
+    std::printf("\nBucket routing from first contact (plane %d, slot %d):\n",
+                fc.plane, fc.slot);
+    for (int b = 0; b < mapper.buckets(); ++b) {
+      const auto owner = mapper.owner(fc, b);
+      const auto [inter, intra] = mapper.hop_split(fc, *owner);
+      std::printf("  bucket %d -> (plane %2d, slot %2d), %d+%d hops\n", b,
+                  owner->plane, owner->slot, inter, intra);
+    }
+    const auto west = mapper.west_replica(*mapper.owner(fc, 0));
+    std::printf("  relay replica of bucket 0 owner: (plane %d, slot %d)\n",
+                west->plane, west->slot);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Cluster replayer demo: run the StarCDN request pipeline across
+// per-satellite cache workers connected by real TCP loopback sockets —
+// the paper's evaluation harness architecture (§5.1).
+//
+//   $ ./replay_cluster [tcp|inproc]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "replay/replayer.h"
+#include "trace/workload.h"
+#include "util/geo.h"
+
+int main(int argc, char** argv) {
+  using namespace starcdn;
+
+  const bool use_tcp = argc < 2 || std::strcmp(argv[1], "tcp") == 0;
+
+  // A compact shell keeps the worker count (= thread count) reasonable.
+  orbit::WalkerParams shell_params;
+  shell_params.planes = 8;
+  shell_params.slots_per_plane = 6;
+  const orbit::Constellation shell{shell_params};
+
+  auto p = trace::default_params(trace::TrafficClass::kVideo);
+  p.object_count = 20'000;
+  p.requests_per_weight = 6'000;
+  p.duration_s = util::kHour;
+  const trace::WorkloadModel workload(util::paper_cities(), p);
+  const auto requests = trace::merge_by_time(workload.generate());
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), p.duration_s);
+
+  replay::ReplayConfig cfg;
+  cfg.cache_capacity = util::gib(1);
+  cfg.buckets = 4;
+  cfg.transport = use_tcp ? replay::TransportKind::kTcp
+                          : replay::TransportKind::kInProcess;
+
+  std::printf("spawning %d cache workers over %s, replaying %zu requests...\n",
+              shell.size(), use_tcp ? "TCP loopback" : "in-process queues",
+              requests.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto report = replay_cluster(shell, schedule, requests, cfg);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  std::printf(
+      "\nreplayed %llu requests in %.2f s (%.0f req/s)\n"
+      "cache hits: %llu (%.1f%%), of which relayed: %llu\n"
+      "misses fetched from ground: %llu (%.2f GB of uplink)\n",
+      static_cast<unsigned long long>(report.requests), elapsed,
+      static_cast<double>(report.requests) / elapsed,
+      static_cast<unsigned long long>(report.hits),
+      100.0 * report.request_hit_rate(),
+      static_cast<unsigned long long>(report.relay_hits),
+      static_cast<unsigned long long>(report.misses),
+      static_cast<double>(report.uplink_bytes) / 1e9);
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "cache/cache.h"
+
+#include <stdexcept>
+
+#include "cache/fifo.h"
+#include "cache/lfu.h"
+#include "cache/gdsf.h"
+#include "cache/lru.h"
+#include "cache/sieve.h"
+#include "cache/slru.h"
+
+namespace starcdn::cache {
+
+const char* to_string(Policy p) noexcept {
+  switch (p) {
+    case Policy::kLru: return "lru";
+    case Policy::kLfu: return "lfu";
+    case Policy::kFifo: return "fifo";
+    case Policy::kSieve: return "sieve";
+    case Policy::kSlru: return "slru";
+    case Policy::kGdsf: return "gdsf";
+  }
+  return "?";
+}
+
+Policy parse_policy(const std::string& name) {
+  if (name == "lru") return Policy::kLru;
+  if (name == "lfu") return Policy::kLfu;
+  if (name == "fifo") return Policy::kFifo;
+  if (name == "sieve") return Policy::kSieve;
+  if (name == "slru") return Policy::kSlru;
+  if (name == "gdsf") return Policy::kGdsf;
+  throw std::invalid_argument("unknown cache policy: " + name);
+}
+
+AccessResult Cache::access(ObjectId id, Bytes size) {
+  ++stats_.requests;
+  stats_.bytes_requested += size;
+  if (touch(id)) {
+    ++stats_.hits;
+    stats_.bytes_hit += size;
+    return AccessResult::kHit;
+  }
+  if (size > capacity_) return AccessResult::kMissTooLarge;
+  admit(id, size);
+  return AccessResult::kMissInserted;
+}
+
+std::unique_ptr<Cache> make_cache(Policy policy, Bytes capacity) {
+  switch (policy) {
+    case Policy::kLru: return std::make_unique<LruCache>(capacity);
+    case Policy::kLfu: return std::make_unique<LfuCache>(capacity);
+    case Policy::kFifo: return std::make_unique<FifoCache>(capacity);
+    case Policy::kSieve: return std::make_unique<SieveCache>(capacity);
+    case Policy::kSlru: return std::make_unique<SlruCache>(capacity);
+    case Policy::kGdsf: return std::make_unique<GdsfCache>(capacity);
+  }
+  throw std::invalid_argument("make_cache: unknown policy");
+}
+
+}  // namespace starcdn::cache

@@ -1,0 +1,42 @@
+#include "cache/fifo.h"
+
+namespace starcdn::cache {
+
+void FifoCache::admit(ObjectId id, Bytes size) {
+  if (size > capacity() || index_.contains(id)) return;
+  while (!list_.empty() && capacity() - used_bytes() < size) {
+    const Entry& victim = list_.back();
+    index_.erase(victim.id);
+    note_evict(victim.size);
+    list_.pop_back();
+  }
+  list_.push_front({id, size});
+  index_.emplace(id, list_.begin());
+  note_admit(size);
+}
+
+void FifoCache::erase(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  note_erase(it->second->size);
+  list_.erase(it->second);
+  index_.erase(it);
+}
+
+std::vector<std::pair<ObjectId, Bytes>> FifoCache::hottest(
+    std::size_t n) const {
+  std::vector<std::pair<ObjectId, Bytes>> out;
+  for (const Entry& e : list_) {
+    if (out.size() >= n) break;
+    out.emplace_back(e.id, e.size);
+  }
+  return out;
+}
+
+void FifoCache::clear() {
+  list_.clear();
+  index_.clear();
+  reset_usage();
+}
+
+}  // namespace starcdn::cache

@@ -1,0 +1,39 @@
+// First-In First-Out eviction: the simplest baseline and the substrate
+// SIEVE builds on.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace starcdn::cache {
+
+class FifoCache final : public Cache {
+ public:
+  explicit FifoCache(Bytes capacity) noexcept : Cache(capacity) {}
+
+  [[nodiscard]] bool peek(ObjectId id) const override {
+    return index_.contains(id);
+  }
+  bool touch(ObjectId id) override { return index_.contains(id); }
+  void admit(ObjectId id, Bytes size) override;
+  void erase(ObjectId id) override;
+  void clear() override;
+  [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override;
+  [[nodiscard]] Policy policy() const noexcept override {
+    return Policy::kFifo;
+  }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    Bytes size;
+  };
+
+  std::list<Entry> list_;  // front = newest
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace starcdn::cache

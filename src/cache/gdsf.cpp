@@ -1,0 +1,71 @@
+#include "cache/gdsf.h"
+
+namespace starcdn::cache {
+
+void GdsfCache::requeue(ObjectId id, Entry& e) {
+  queue_.erase({e.utility, id});
+  e.utility = utility_of(e);
+  queue_.emplace(std::pair{e.utility, id}, id);
+}
+
+bool GdsfCache::touch(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  ++it->second.frequency;
+  requeue(id, it->second);
+  return true;
+}
+
+void GdsfCache::evict_until(Bytes needed) {
+  while (!queue_.empty() && capacity() - used_bytes() < needed) {
+    const auto victim_it = queue_.begin();
+    const ObjectId victim = victim_it->second;
+    // The inflating clock: future admissions start from the last evicted
+    // utility, so long-resident entries age out.
+    clock_ = victim_it->first.first;
+    queue_.erase(victim_it);
+    const auto idx = index_.find(victim);
+    note_evict(idx->second.size);
+    index_.erase(idx);
+  }
+}
+
+void GdsfCache::admit(ObjectId id, Bytes size) {
+  if (size > capacity()) return;
+  if (touch(id)) return;
+  evict_until(size);
+  Entry e;
+  e.size = size;
+  e.frequency = 1;
+  e.utility = utility_of(e);
+  queue_.emplace(std::pair{e.utility, id}, id);
+  index_.emplace(id, e);
+  note_admit(size);
+}
+
+void GdsfCache::erase(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  queue_.erase({it->second.utility, id});
+  note_erase(it->second.size);
+  index_.erase(it);
+}
+
+void GdsfCache::clear() {
+  queue_.clear();
+  index_.clear();
+  clock_ = 0.0;
+  reset_usage();
+}
+
+std::vector<std::pair<ObjectId, Bytes>> GdsfCache::hottest(
+    std::size_t n) const {
+  std::vector<std::pair<ObjectId, Bytes>> out;
+  for (auto it = queue_.rbegin(); it != queue_.rend() && out.size() < n;
+       ++it) {
+    out.emplace_back(it->second, index_.at(it->second).size);
+  }
+  return out;
+}
+
+}  // namespace starcdn::cache

@@ -1,0 +1,59 @@
+// Greedy-Dual-Size-Frequency eviction.
+//
+// CDN caches serve objects of wildly different sizes; GDSF evicts by the
+// utility H = L + frequency / size, where L is an inflating clock set to
+// the evicted utility. Small popular objects are protected, large
+// rarely-used ones go first — the classic web-cache answer to the
+// byte-vs-request hit-rate tension (§2.2's "various eviction policies have
+// different strengths"). Included as a size-aware alternative for StarCDN's
+// pluggable caching.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace starcdn::cache {
+
+class GdsfCache final : public Cache {
+ public:
+  explicit GdsfCache(Bytes capacity) noexcept : Cache(capacity) {}
+
+  [[nodiscard]] bool peek(ObjectId id) const override {
+    return index_.contains(id);
+  }
+  bool touch(ObjectId id) override;
+  void admit(ObjectId id, Bytes size) override;
+  void erase(ObjectId id) override;
+  void clear() override;
+  [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override;
+  [[nodiscard]] Policy policy() const noexcept override {
+    return Policy::kGdsf;
+  }
+
+  /// Current clock value L (for tests).
+  [[nodiscard]] double clock() const noexcept { return clock_; }
+
+ private:
+  struct Entry {
+    Bytes size = 0;
+    std::uint64_t frequency = 0;
+    double utility = 0.0;
+  };
+
+  [[nodiscard]] double utility_of(const Entry& e) const noexcept {
+    return clock_ + static_cast<double>(e.frequency) /
+                        static_cast<double>(std::max<Bytes>(e.size, 1));
+  }
+  void requeue(ObjectId id, Entry& e);
+  void evict_until(Bytes needed);
+
+  double clock_ = 0.0;
+  std::unordered_map<ObjectId, Entry> index_;
+  // Utility-ordered priority queue; (utility, id) keys are unique per entry.
+  std::map<std::pair<double, ObjectId>, ObjectId> queue_;
+};
+
+}  // namespace starcdn::cache

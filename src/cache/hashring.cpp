@@ -1,0 +1,70 @@
+#include "cache/hashring.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace starcdn::cache {
+
+namespace {
+
+std::uint64_t vnode_point(std::uint32_t server_id, int replica) {
+  return util::hash_combine(util::splitmix64(server_id),
+                            util::splitmix64(static_cast<std::uint64_t>(replica)));
+}
+
+}  // namespace
+
+void HashRing::add_server(std::uint32_t server_id) {
+  if (std::find(servers_.begin(), servers_.end(), server_id) !=
+      servers_.end()) {
+    return;
+  }
+  servers_.push_back(server_id);
+  for (int r = 0; r < vnodes_; ++r) {
+    ring_.emplace(vnode_point(server_id, r), server_id);
+  }
+}
+
+void HashRing::remove_server(std::uint32_t server_id) {
+  const auto it = std::find(servers_.begin(), servers_.end(), server_id);
+  if (it == servers_.end()) return;
+  servers_.erase(it);
+  for (int r = 0; r < vnodes_; ++r) {
+    const auto point = vnode_point(server_id, r);
+    const auto range = ring_.equal_range(point);
+    for (auto rit = range.first; rit != range.second;) {
+      if (rit->second == server_id) {
+        rit = ring_.erase(rit);
+      } else {
+        ++rit;
+      }
+    }
+  }
+}
+
+std::uint32_t HashRing::owner(ObjectId object) const {
+  const auto h = util::splitmix64(object);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the circle
+  return it->second;
+}
+
+std::vector<std::uint32_t> HashRing::owners(ObjectId object,
+                                            std::size_t n) const {
+  std::vector<std::uint32_t> out;
+  if (ring_.empty()) return out;
+  n = std::min(n, servers_.size());
+  const auto h = util::splitmix64(object);
+  auto it = ring_.lower_bound(h);
+  while (out.size() < n) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace starcdn::cache

@@ -1,0 +1,43 @@
+// Classic consistent-hash ring (Karger et al., STOC 1997) with virtual
+// nodes — the intra-cluster object-to-server mapping of terrestrial CDNs
+// (§2.2, §3.2). StarCDN replaces this with the grid bucket layout of
+// core/bucket_mapper.h; the ring is retained as the terrestrial baseline
+// and for contrast tests (balance, minimal remapping on churn).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace starcdn::cache {
+
+class HashRing {
+ public:
+  /// `vnodes` virtual points per server smooth the load distribution.
+  explicit HashRing(int vnodes = 64) noexcept : vnodes_(vnodes) {}
+
+  void add_server(std::uint32_t server_id);
+  void remove_server(std::uint32_t server_id);
+
+  [[nodiscard]] bool empty() const noexcept { return ring_.empty(); }
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return servers_.size();
+  }
+
+  /// Server owning `object` — first ring point clockwise of its hash.
+  [[nodiscard]] std::uint32_t owner(ObjectId object) const;
+
+  /// First `n` distinct servers clockwise (replication candidates).
+  [[nodiscard]] std::vector<std::uint32_t> owners(ObjectId object,
+                                                  std::size_t n) const;
+
+ private:
+  int vnodes_;
+  std::map<std::uint64_t, std::uint32_t> ring_;  // point -> server
+  std::vector<std::uint32_t> servers_;
+};
+
+}  // namespace starcdn::cache

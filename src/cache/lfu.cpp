@@ -1,0 +1,83 @@
+#include "cache/lfu.h"
+
+namespace starcdn::cache {
+
+void LfuCache::bump(const std::unordered_map<ObjectId, Locator>::iterator& it) {
+  Locator& loc = it->second;
+  const std::uint64_t next_freq = loc.node->freq + 1;
+  auto next_node = std::next(loc.node);
+  if (next_node == freq_list_.end() || next_node->freq != next_freq) {
+    next_node = freq_list_.insert(next_node, {next_freq, {}});
+  }
+  next_node->entries.splice(next_node->entries.begin(), loc.node->entries,
+                            loc.entry);
+  if (loc.node->entries.empty()) freq_list_.erase(loc.node);
+  loc.node = next_node;
+}
+
+bool LfuCache::touch(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  bump(it);
+  return true;
+}
+
+void LfuCache::evict_until(Bytes needed) {
+  while (!freq_list_.empty() && capacity() - used_bytes() < needed) {
+    FreqNode& lowest = freq_list_.front();
+    const Entry& victim = lowest.entries.back();
+    index_.erase(victim.id);
+    note_evict(victim.size);
+    lowest.entries.pop_back();
+    if (lowest.entries.empty()) freq_list_.pop_front();
+  }
+}
+
+void LfuCache::admit(ObjectId id, Bytes size) {
+  if (size > capacity()) return;
+  if (touch(id)) return;
+  evict_until(size);
+  auto node = freq_list_.begin();
+  if (node == freq_list_.end() || node->freq != 1) {
+    node = freq_list_.insert(freq_list_.begin(), {1, {}});
+  }
+  node->entries.push_front({id, size});
+  index_.emplace(id, Locator{node, node->entries.begin()});
+  note_admit(size);
+}
+
+void LfuCache::erase(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  Locator& loc = it->second;
+  note_erase(loc.entry->size);
+  loc.node->entries.erase(loc.entry);
+  if (loc.node->entries.empty()) freq_list_.erase(loc.node);
+  index_.erase(it);
+}
+
+std::vector<std::pair<ObjectId, Bytes>> LfuCache::hottest(
+    std::size_t n) const {
+  // Walk frequency nodes from highest to lowest, recency order within each.
+  std::vector<std::pair<ObjectId, Bytes>> out;
+  for (auto node = freq_list_.rbegin(); node != freq_list_.rend(); ++node) {
+    for (const Entry& e : node->entries) {
+      if (out.size() >= n) return out;
+      out.emplace_back(e.id, e.size);
+    }
+  }
+  return out;
+}
+
+void LfuCache::clear() {
+  freq_list_.clear();
+  index_.clear();
+  reset_usage();
+}
+
+std::uint64_t LfuCache::frequency(ObjectId id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? 0 : it->second.node->freq;
+}
+
+}  // namespace starcdn::cache

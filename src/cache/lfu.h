@@ -1,0 +1,56 @@
+// Least Frequently Used eviction with O(1) operations.
+//
+// Implements the frequency-bucket structure of Ketan Shah et al.: a doubly
+// linked list of frequency nodes, each holding an LRU-ordered list of
+// entries with that access count. Eviction removes the least recently used
+// entry of the lowest frequency.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace starcdn::cache {
+
+class LfuCache final : public Cache {
+ public:
+  explicit LfuCache(Bytes capacity) noexcept : Cache(capacity) {}
+
+  [[nodiscard]] bool peek(ObjectId id) const override {
+    return index_.contains(id);
+  }
+  bool touch(ObjectId id) override;
+  void admit(ObjectId id, Bytes size) override;
+  void erase(ObjectId id) override;
+  void clear() override;
+  [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override;
+  [[nodiscard]] Policy policy() const noexcept override { return Policy::kLfu; }
+
+  /// Access count of a resident object (0 if absent); for tests.
+  [[nodiscard]] std::uint64_t frequency(ObjectId id) const;
+
+ private:
+  struct Entry {
+    ObjectId id;
+    Bytes size;
+  };
+  struct FreqNode {
+    std::uint64_t freq;
+    std::list<Entry> entries;  // front = most recently used at this freq
+  };
+  using FreqList = std::list<FreqNode>;
+  struct Locator {
+    FreqList::iterator node;
+    std::list<Entry>::iterator entry;
+  };
+
+  void bump(const std::unordered_map<ObjectId, Locator>::iterator& it);
+  void evict_until(Bytes needed);
+
+  FreqList freq_list_;  // ascending frequency order
+  std::unordered_map<ObjectId, Locator> index_;
+};
+
+}  // namespace starcdn::cache

@@ -1,0 +1,54 @@
+#include "cache/lru.h"
+
+namespace starcdn::cache {
+
+bool LruCache::touch(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  list_.splice(list_.begin(), list_, it->second);
+  return true;
+}
+
+void LruCache::evict_until(Bytes needed) {
+  while (!list_.empty() && capacity() - used_bytes() < needed) {
+    const Entry& victim = list_.back();
+    index_.erase(victim.id);
+    note_evict(victim.size);
+    list_.pop_back();
+  }
+}
+
+void LruCache::admit(ObjectId id, Bytes size) {
+  if (size > capacity()) return;
+  if (touch(id)) return;  // already resident
+  evict_until(size);
+  list_.push_front({id, size});
+  index_.emplace(id, list_.begin());
+  note_admit(size);
+}
+
+void LruCache::erase(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  note_erase(it->second->size);
+  list_.erase(it->second);
+  index_.erase(it);
+}
+
+std::vector<std::pair<ObjectId, Bytes>> LruCache::hottest(
+    std::size_t n) const {
+  std::vector<std::pair<ObjectId, Bytes>> out;
+  for (const Entry& e : list_) {
+    if (out.size() >= n) break;
+    out.emplace_back(e.id, e.size);
+  }
+  return out;
+}
+
+void LruCache::clear() {
+  list_.clear();
+  index_.clear();
+  reset_usage();
+}
+
+}  // namespace starcdn::cache

@@ -1,0 +1,42 @@
+// Least Recently Used eviction — the paper's policy of choice (§2.2, §5).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace starcdn::cache {
+
+/// Classic LRU: recency list + index. touch() is O(1); admit() evicts from
+/// the tail until the object fits.
+class LruCache final : public Cache {
+ public:
+  explicit LruCache(Bytes capacity) noexcept : Cache(capacity) {}
+
+  [[nodiscard]] bool peek(ObjectId id) const override {
+    return index_.contains(id);
+  }
+  bool touch(ObjectId id) override;
+  void admit(ObjectId id, Bytes size) override;
+  void erase(ObjectId id) override;
+  void clear() override;
+  [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override;
+  [[nodiscard]] Policy policy() const noexcept override { return Policy::kLru; }
+
+  /// Least-recently-used object id, if any (exposed for tests).
+  [[nodiscard]] ObjectId lru_victim() const { return list_.back().id; }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    Bytes size;
+  };
+  void evict_until(Bytes needed);
+
+  std::list<Entry> list_;  // front = most recent
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace starcdn::cache

@@ -1,0 +1,78 @@
+#include "cache/sieve.h"
+
+namespace starcdn::cache {
+
+bool SieveCache::touch(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  it->second->visited = true;
+  return true;
+}
+
+void SieveCache::evict_one() {
+  // The hand sweeps tail -> head, clearing visited bits, and evicts the
+  // first unvisited entry; it wraps to the tail when it passes the head.
+  if (list_.empty()) return;
+  if (hand_ == list_.end()) hand_ = std::prev(list_.end());
+  while (hand_->visited) {
+    hand_->visited = false;
+    if (hand_ == list_.begin()) {
+      hand_ = std::prev(list_.end());
+    } else {
+      --hand_;
+    }
+  }
+  const auto victim = hand_;
+  // Advance the hand before erasing; "toward head", wrapping at begin.
+  if (victim == list_.begin()) {
+    hand_ = list_.end();  // next eviction restarts at the tail
+  } else {
+    hand_ = std::prev(victim);
+  }
+  index_.erase(victim->id);
+  note_evict(victim->size);
+  list_.erase(victim);
+}
+
+void SieveCache::admit(ObjectId id, Bytes size) {
+  if (size > capacity() || index_.contains(id)) return;
+  while (!list_.empty() && capacity() - used_bytes() < size) evict_one();
+  list_.push_front({id, size, false});
+  index_.emplace(id, list_.begin());
+  note_admit(size);
+}
+
+void SieveCache::erase(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  if (hand_ == it->second) {
+    hand_ = it->second == list_.begin() ? list_.end() : std::prev(it->second);
+  }
+  note_erase(it->second->size);
+  list_.erase(it->second);
+  index_.erase(it);
+}
+
+std::vector<std::pair<ObjectId, Bytes>> SieveCache::hottest(
+    std::size_t n) const {
+  // Visited entries first (they survived a sweep), then by insertion order.
+  std::vector<std::pair<ObjectId, Bytes>> out;
+  for (const Entry& e : list_) {
+    if (out.size() >= n) break;
+    if (e.visited) out.emplace_back(e.id, e.size);
+  }
+  for (const Entry& e : list_) {
+    if (out.size() >= n) break;
+    if (!e.visited) out.emplace_back(e.id, e.size);
+  }
+  return out;
+}
+
+void SieveCache::clear() {
+  list_.clear();
+  index_.clear();
+  hand_ = list_.end();
+  reset_usage();
+}
+
+}  // namespace starcdn::cache

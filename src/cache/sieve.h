@@ -1,0 +1,50 @@
+// SIEVE eviction (Zhang et al., NSDI 2024), cited by the paper as a policy
+// its consistent hashing composes with (§3.2).
+//
+// SIEVE keeps a FIFO-ordered list with one "visited" bit per entry and a
+// hand that sweeps from tail to head: on eviction the hand skips (and
+// clears) visited entries and removes the first unvisited one. Hits only
+// set the visited bit — no list movement — which makes hits cheaper than
+// LRU and gives better scan resistance.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace starcdn::cache {
+
+class SieveCache final : public Cache {
+ public:
+  explicit SieveCache(Bytes capacity) noexcept : Cache(capacity) {}
+
+  [[nodiscard]] bool peek(ObjectId id) const override {
+    return index_.contains(id);
+  }
+  bool touch(ObjectId id) override;
+  void admit(ObjectId id, Bytes size) override;
+  void erase(ObjectId id) override;
+  void clear() override;
+  [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override;
+  [[nodiscard]] Policy policy() const noexcept override {
+    return Policy::kSieve;
+  }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    Bytes size;
+    bool visited = false;
+  };
+  using List = std::list<Entry>;
+
+  void evict_one();
+
+  List list_;  // front = newest insertion
+  List::iterator hand_ = list_.end();
+  std::unordered_map<ObjectId, List::iterator> index_;
+};
+
+}  // namespace starcdn::cache

@@ -1,0 +1,98 @@
+#include "cache/slru.h"
+
+namespace starcdn::cache {
+
+void SlruCache::shrink_protected(Bytes limit) {
+  // Demote protected tail entries into probation until under `limit`.
+  while (protected_used_ > limit && !protected_.empty()) {
+    auto victim = std::prev(protected_.end());
+    protected_used_ -= victim->size;
+    victim->is_protected = false;
+    probation_.splice(probation_.begin(), protected_, victim);
+    index_[victim->id].it = probation_.begin();
+  }
+}
+
+bool SlruCache::touch(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  auto entry_it = it->second.it;
+  if (entry_it->is_protected) {
+    protected_.splice(protected_.begin(), protected_, entry_it);
+  } else {
+    // Promote probation -> protected; demote overflow back to probation.
+    entry_it->is_protected = true;
+    protected_used_ += entry_it->size;
+    protected_.splice(protected_.begin(), probation_, entry_it);
+    shrink_protected(protected_capacity_);
+  }
+  index_[id].it = entry_it;
+  return true;
+}
+
+void SlruCache::evict_probation_until(Bytes needed) {
+  while (capacity() - used_bytes() < needed) {
+    if (!probation_.empty()) {
+      const auto victim = std::prev(probation_.end());
+      index_.erase(victim->id);
+      note_evict(victim->size);
+      probation_.erase(victim);
+    } else if (!protected_.empty()) {
+      const auto victim = std::prev(protected_.end());
+      protected_used_ -= victim->size;
+      index_.erase(victim->id);
+      note_evict(victim->size);
+      protected_.erase(victim);
+    } else {
+      return;
+    }
+  }
+}
+
+void SlruCache::admit(ObjectId id, Bytes size) {
+  if (size > capacity()) return;
+  if (touch(id)) return;
+  evict_probation_until(size);
+  probation_.push_front({id, size, false});
+  index_[id] = Locator{probation_.begin()};
+  note_admit(size);
+}
+
+void SlruCache::erase(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  const auto entry_it = it->second.it;
+  note_erase(entry_it->size);
+  if (entry_it->is_protected) {
+    protected_used_ -= entry_it->size;
+    protected_.erase(entry_it);
+  } else {
+    probation_.erase(entry_it);
+  }
+  index_.erase(it);
+}
+
+std::vector<std::pair<ObjectId, Bytes>> SlruCache::hottest(
+    std::size_t n) const {
+  // Protected (re-referenced) objects first, then probation.
+  std::vector<std::pair<ObjectId, Bytes>> out;
+  for (const Entry& e : protected_) {
+    if (out.size() >= n) break;
+    out.emplace_back(e.id, e.size);
+  }
+  for (const Entry& e : probation_) {
+    if (out.size() >= n) break;
+    out.emplace_back(e.id, e.size);
+  }
+  return out;
+}
+
+void SlruCache::clear() {
+  probation_.clear();
+  protected_.clear();
+  protected_used_ = 0;
+  index_.clear();
+  reset_usage();
+}
+
+}  // namespace starcdn::cache

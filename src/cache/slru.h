@@ -1,0 +1,60 @@
+// Segmented LRU: a probationary segment absorbs one-hit wonders, a
+// protected segment holds re-referenced objects. A common production LRU
+// variant ("different LRU variants are often deployed in commercial CDNs",
+// §2.2); included as an ablation policy for StarCDN's pluggable caching.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace starcdn::cache {
+
+class SlruCache final : public Cache {
+ public:
+  /// `protected_fraction` of capacity is reserved for re-referenced objects.
+  explicit SlruCache(Bytes capacity, double protected_fraction = 0.8) noexcept
+      : Cache(capacity),
+        protected_capacity_(static_cast<Bytes>(
+            static_cast<double>(capacity) * protected_fraction)) {}
+
+  [[nodiscard]] bool peek(ObjectId id) const override {
+    return index_.contains(id);
+  }
+  bool touch(ObjectId id) override;
+  void admit(ObjectId id, Bytes size) override;
+  void erase(ObjectId id) override;
+  void clear() override;
+  [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override;
+  [[nodiscard]] Policy policy() const noexcept override {
+    return Policy::kSlru;
+  }
+
+  [[nodiscard]] Bytes protected_bytes() const noexcept {
+    return protected_used_;
+  }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    Bytes size;
+    bool is_protected = false;
+  };
+  using List = std::list<Entry>;
+  struct Locator {
+    List::iterator it;
+  };
+
+  void shrink_protected(Bytes limit);
+  void evict_probation_until(Bytes needed);
+
+  Bytes protected_capacity_;
+  Bytes protected_used_ = 0;
+  List probation_;   // front = most recent
+  List protected_;   // front = most recent
+  std::unordered_map<ObjectId, Locator> index_;
+};
+
+}  // namespace starcdn::cache

@@ -1,0 +1,78 @@
+// Metrics collected per simulated variant: hit/miss breakdown, byte
+// accounting (uplink = Fig. 8), latency samples (Fig. 10), relay-probe
+// availability (Table 3) and per-satellite counters (Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/bandwidth.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace starcdn::core {
+
+/// Outcome of relay probes on an owner miss (Table 3's columns).
+struct RelayAvailability {
+  std::uint64_t west_only_requests = 0;
+  std::uint64_t east_only_requests = 0;
+  std::uint64_t both_requests = 0;
+  util::Bytes west_only_bytes = 0;
+  util::Bytes east_only_bytes = 0;
+  util::Bytes both_bytes = 0;
+};
+
+struct VariantMetrics {
+  std::uint64_t requests = 0;
+  std::uint64_t local_hits = 0;    // served by the first-contact satellite
+  std::uint64_t routed_hits = 0;   // served by the bucket owner
+  std::uint64_t relay_west_hits = 0;
+  std::uint64_t relay_east_hits = 0;
+  std::uint64_t misses = 0;        // fetched from the ground
+  std::uint64_t unreachable = 0;   // no satellite in view (coverage gap)
+
+  std::uint64_t transient_misses = 0;  // serving cache briefly down (§3.4)
+
+  util::Bytes bytes_requested = 0;
+  util::Bytes bytes_hit = 0;
+  util::Bytes uplink_bytes = 0;    // ground->satellite fetches (scarce GSL)
+  util::Bytes isl_bytes = 0;       // object bytes moved across ISLs
+  util::Bytes prefetch_bytes = 0;  // speculative transfers (kPrefetch only)
+
+  util::QuantileSampler latency_ms{200'000};
+
+  /// Per-(satellite, epoch) GSL throughput accounting; quantifies pressure
+  /// on the 20 Gbps uplink budget of Table 1. Finalized by Simulator::run.
+  net::UplinkMeter uplink_meter;
+
+  // Per-satellite hit accounting (linear satellite index), Fig. 11.
+  std::vector<std::uint32_t> sat_requests;
+  std::vector<std::uint32_t> sat_hits;
+  std::vector<util::Bytes> sat_bytes_requested;
+  std::vector<util::Bytes> sat_bytes_hit;
+
+  RelayAvailability relay;
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return local_hits + routed_hits + relay_west_hits + relay_east_hits;
+  }
+  [[nodiscard]] double request_hit_rate() const noexcept {
+    return requests ? static_cast<double>(hits()) /
+                          static_cast<double>(requests)
+                    : 0.0;
+  }
+  [[nodiscard]] double byte_hit_rate() const noexcept {
+    return bytes_requested ? static_cast<double>(bytes_hit) /
+                                 static_cast<double>(bytes_requested)
+                           : 0.0;
+  }
+  /// Uplink usage normalized to fetching everything from the ground
+  /// (the paper's Fig. 8 y-axis).
+  [[nodiscard]] double normalized_uplink() const noexcept {
+    return bytes_requested ? static_cast<double>(uplink_bytes) /
+                                 static_cast<double>(bytes_requested)
+                           : 0.0;
+  }
+};
+
+}  // namespace starcdn::core

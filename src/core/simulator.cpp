@@ -1,0 +1,296 @@
+#include "core/simulator.h"
+
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace starcdn::core {
+
+const char* to_string(Variant v) noexcept {
+  switch (v) {
+    case Variant::kStatic: return "StaticCache";
+    case Variant::kVanillaLru: return "VanillaLRU";
+    case Variant::kHashOnly: return "StarCDN-Fetch";   // paper: minus fetch
+    case Variant::kRelayOnly: return "StarCDN-Hashing";  // paper: minus hash
+    case Variant::kStarCdn: return "StarCDN";
+    case Variant::kPrefetch: return "StarCDN-Prefetch";
+  }
+  return "?";
+}
+
+Simulator::Simulator(const orbit::Constellation& constellation,
+                     const sched::LinkSchedule& schedule, SimConfig config,
+                     net::LatencyModelParams latency_params)
+    : constellation_(&constellation),
+      schedule_(&schedule),
+      config_(config),
+      mapper_(constellation, config.buckets),
+      latency_(latency_params),
+      transient_(config.transient_down_prob, config.transient_window_s,
+                 config.seed ^ 0xfa11u),
+      rng_(config.seed) {}
+
+void Simulator::add_variant(Variant v) {
+  for (const auto& vs : variants_) {
+    if (vs.variant == v) return;
+  }
+  VariantState vs;
+  vs.variant = v;
+  vs.caches.resize(static_cast<std::size_t>(constellation_->size()));
+  if (v == Variant::kPrefetch) {
+    vs.prefetch_epoch.assign(static_cast<std::size_t>(constellation_->size()),
+                             ~0u);
+  }
+  if (config_.track_per_satellite) {
+    const auto n = static_cast<std::size_t>(constellation_->size());
+    vs.metrics.sat_requests.assign(n, 0);
+    vs.metrics.sat_hits.assign(n, 0);
+    vs.metrics.sat_bytes_requested.assign(n, 0);
+    vs.metrics.sat_bytes_hit.assign(n, 0);
+  }
+  variants_.push_back(std::move(vs));
+}
+
+const VariantMetrics& Simulator::metrics(Variant v) const {
+  for (const auto& vs : variants_) {
+    if (vs.variant == v) return vs.metrics;
+  }
+  throw std::out_of_range("Simulator::metrics: variant not registered");
+}
+
+cache::Cache& Simulator::cache_at(VariantState& vs, int sat_index) {
+  auto& slot = vs.caches[static_cast<std::size_t>(sat_index)];
+  if (!slot) slot = cache::make_cache(config_.policy, config_.cache_capacity);
+  return *slot;
+}
+
+void Simulator::note_sat(VariantState& vs, int sat_index,
+                         const trace::Request& r, bool hit) {
+  if (!config_.track_per_satellite) return;
+  const auto i = static_cast<std::size_t>(sat_index);
+  ++vs.metrics.sat_requests[i];
+  vs.metrics.sat_bytes_requested[i] += r.size;
+  if (hit) {
+    ++vs.metrics.sat_hits[i];
+    vs.metrics.sat_bytes_hit[i] += r.size;
+  }
+}
+
+void Simulator::run(const std::vector<trace::Request>& requests) {
+  for (const trace::Request& r : requests) {
+    const std::size_t epoch = schedule_->epoch_of(r.timestamp_s);
+    // Logical user terminal issuing this request: rotates through the
+    // city's population so an epoch's requests spread over the candidate
+    // satellites exactly as CosmicBeats splits them (§5.1).
+    const std::uint64_t user =
+        util::splitmix64(request_counter_++) %
+        static_cast<std::uint64_t>(schedule_->params().users_per_city);
+    for (auto& vs : variants_) {
+      const std::size_t sched_epoch =
+          vs.variant == Variant::kStatic ? 0 : epoch;
+      const sched::Candidate fc =
+          schedule_->first_contact(sched_epoch, r.location, user);
+      process(vs, r, sched_epoch, epoch, fc);
+    }
+  }
+  // Fold the trailing epoch's uplink accumulation into the statistics.
+  for (auto& vs : variants_) vs.metrics.uplink_meter.flush();
+}
+
+void Simulator::maybe_prefetch(VariantState& vs, int serving_idx,
+                               std::size_t epoch) {
+  // The §3.3 alternative design: on entering a new scheduler epoch, a
+  // satellite speculatively pulls the hottest objects of its trailing
+  // ("west") same-bucket replica — the satellite that just served the
+  // region this one is flying into. Prefetched bytes burn ISL bandwidth
+  // and cache space whether or not they are ever requested; the ablation
+  // bench quantifies why the paper prefers miss-triggered relay.
+  auto& stamp = vs.prefetch_epoch[static_cast<std::size_t>(serving_idx)];
+  if (stamp == epoch) return;
+  stamp = static_cast<std::uint32_t>(epoch);
+  const auto west =
+      mapper_.west_replica(constellation_->id_of(serving_idx));
+  if (!west) return;
+  auto& replica_slot =
+      vs.caches[static_cast<std::size_t>(constellation_->index_of(*west))];
+  if (!replica_slot) return;  // neighbour has served nothing yet
+  cache::Cache& own = cache_at(vs, serving_idx);
+  for (const auto& [id, size] :
+       replica_slot->hottest(
+           static_cast<std::size_t>(config_.prefetch_objects_per_epoch))) {
+    if (own.peek(id)) continue;
+    own.admit(id, size);
+    vs.metrics.isl_bytes += size;
+    vs.metrics.prefetch_bytes += size;
+  }
+}
+
+void Simulator::process(VariantState& vs, const trace::Request& r,
+                        std::size_t sched_epoch, std::size_t real_epoch,
+                        const sched::Candidate& fc) {
+  VariantMetrics& m = vs.metrics;
+  ++m.requests;
+  m.bytes_requested += r.size;
+
+  if (fc.sat_index < 0) {
+    // Coverage gap: served bent-pipe from the ground via a remote link.
+    ++m.unreachable;
+    ++m.misses;
+    m.uplink_bytes += r.size;
+    if (config_.sample_latency) {
+      m.latency_ms.add(latency_.bentpipe_starlink(latency_.params().default_gsl_ms, rng_));
+    }
+    return;
+  }
+
+  const double gsl_ms = fc.gsl_one_way_ms;
+  const orbit::SatelliteId fc_id = constellation_->id_of(fc.sat_index);
+  const bool hashed = vs.variant == Variant::kHashOnly ||
+                      vs.variant == Variant::kStarCdn ||
+                      vs.variant == Variant::kPrefetch;
+
+  // --- Resolve the serving satellite --------------------------------------
+  orbit::SatelliteId serving = fc_id;
+  double route_ms = 0.0;
+  if (hashed) {
+    const int bucket = mapper_.bucket_of_object(r.object);
+    if (const auto owner = mapper_.owner(fc_id, bucket)) {
+      serving = *owner;
+      const auto [inter, intra] = mapper_.hop_split(fc_id, serving);
+      route_ms = latency_.grid_hops_ms(inter, intra);
+    }
+  }
+  const int serving_idx = constellation_->index_of(serving);
+
+  // Transient cache-server outage (§3.4): report a miss and go to ground;
+  // nothing is cached and no remapping happens.
+  if (transient_.down(serving_idx, r.timestamp_s)) {
+    ++vs.metrics.transient_misses;
+    ++m.misses;
+    m.uplink_bytes += r.size;
+    m.uplink_meter.add(serving_idx, real_epoch, r.size);
+    if (config_.sample_latency) {
+      m.latency_ms.add(latency_.miss(gsl_ms, route_ms,
+                                     latency_.params().default_gsl_ms, rng_));
+    }
+    return;
+  }
+
+  if (vs.variant == Variant::kPrefetch) {
+    maybe_prefetch(vs, serving_idx, sched_epoch);
+  }
+  cache::Cache& serving_cache = cache_at(vs, serving_idx);
+
+  // --- Hit at the serving satellite ---------------------------------------
+  if (serving_cache.touch(r.object)) {
+    m.bytes_hit += r.size;
+    if (serving_idx == fc.sat_index) {
+      ++m.local_hits;
+    } else {
+      ++m.routed_hits;
+      m.isl_bytes += r.size;
+    }
+    note_sat(vs, serving_idx, r, true);
+    if (config_.sample_latency) {
+      m.latency_ms.add(route_ms > 0.0 ? latency_.hit_routed(gsl_ms, route_ms)
+                                      : latency_.hit_local(gsl_ms));
+    }
+    return;
+  }
+  note_sat(vs, serving_idx, r, false);
+
+  // --- Relayed fetch (§3.3) ------------------------------------------------
+  const bool relaying = vs.variant == Variant::kRelayOnly ||
+                        vs.variant == Variant::kStarCdn;
+  if (relaying) {
+    // Same-bucket replicas for the hashed system; immediate inter-orbit
+    // neighbours when running without hashing.
+    std::optional<orbit::SatelliteId> west;
+    std::optional<orbit::SatelliteId> east;
+    int relay_hops = 0;
+    if (vs.variant == Variant::kStarCdn) {
+      west = mapper_.west_replica(serving);
+      east = config_.relay_east ? mapper_.east_replica(serving) : std::nullopt;
+      relay_hops = mapper_.tile_side();
+    } else {
+      // Without hashing the replicas are the immediate inter-orbit
+      // neighbours; "west" is the trailing (+RAAN) plane as above.
+      const auto w = constellation_->inter_east(serving);
+      const auto e = constellation_->inter_west(serving);
+      if (constellation_->active(constellation_->index_of(w))) west = w;
+      if (config_.relay_east &&
+          constellation_->active(constellation_->index_of(e))) {
+        east = e;
+      }
+      relay_hops = 1;
+    }
+    const bool west_has =
+        west && vs.caches[static_cast<std::size_t>(
+                    constellation_->index_of(*west))] &&
+        vs.caches[static_cast<std::size_t>(constellation_->index_of(*west))]
+            ->peek(r.object);
+    const bool east_has =
+        east && vs.caches[static_cast<std::size_t>(
+                    constellation_->index_of(*east))] &&
+        vs.caches[static_cast<std::size_t>(constellation_->index_of(*east))]
+            ->peek(r.object);
+
+    // Table 3 accounting: what was available among the neighbours when the
+    // owner missed.
+    if (west_has && east_has) {
+      ++m.relay.both_requests;
+      m.relay.both_bytes += r.size;
+    } else if (west_has) {
+      ++m.relay.west_only_requests;
+      m.relay.west_only_bytes += r.size;
+    } else if (east_has) {
+      ++m.relay.east_only_requests;
+      m.relay.east_only_bytes += r.size;
+    }
+
+    if (west_has || east_has) {
+      const orbit::SatelliteId replica = west_has ? *west : *east;
+      cache::Cache& replica_cache =
+          cache_at(vs, constellation_->index_of(replica));
+      replica_cache.touch(r.object);  // serving refreshes the replica's state
+      serving_cache.admit(r.object, r.size);  // backflow: owner caches it
+      if (west_has) {
+        ++m.relay_west_hits;
+      } else {
+        ++m.relay_east_hits;
+      }
+      m.bytes_hit += r.size;
+      m.isl_bytes += r.size;
+      if (config_.sample_latency) {
+        const double relay_ms =
+            static_cast<double>(relay_hops) * latency_.params().inter_orbit_hop_ms;
+        m.latency_ms.add(latency_.hit_relayed(gsl_ms, route_ms, relay_ms));
+      }
+      return;
+    }
+  }
+
+  // --- Total miss: fetch from the ground (uplink spend) --------------------
+  ++m.misses;
+  m.uplink_bytes += r.size;
+  m.uplink_meter.add(serving_idx, real_epoch, r.size);
+  serving_cache.admit(r.object, r.size);
+  if (config_.sample_latency) {
+    m.latency_ms.add(latency_.miss(gsl_ms, route_ms,
+                                   latency_.params().default_gsl_ms, rng_));
+  }
+}
+
+std::vector<int> Simulator::buckets_served_per_satellite() const {
+  // Count how many grid slots each active satellite inherits after failure
+  // remapping; a healthy satellite serves exactly its own slot.
+  std::vector<int> served(static_cast<std::size_t>(constellation_->size()), 0);
+  for (int i = 0; i < constellation_->size(); ++i) {
+    if (const auto target = mapper_.remap(constellation_->id_of(i))) {
+      ++served[static_cast<std::size_t>(constellation_->index_of(*target))];
+    }
+  }
+  return served;
+}
+
+}  // namespace starcdn::core

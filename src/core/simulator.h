@@ -1,0 +1,114 @@
+// Trace-driven discrete-time simulator for satellite-based CDNs (§5.1).
+//
+// Replays a multi-location request trace against a constellation with
+// per-satellite edge caches under one or more architecture variants:
+//
+//   kStatic     — the paper's unachievable north star: satellites frozen at
+//                 their epoch-0 geometry, static user-satellite mapping.
+//   kVanillaLru — naive design of §3.1: independent per-satellite caches.
+//   kHashOnly   — StarCDN consistent hashing, no relayed fetch (the paper's
+//                 "StarCDN-Fetch" curve = StarCDN *minus* fetch).
+//   kRelayOnly  — relayed fetch from inter-orbit neighbours without
+//                 hashing (the paper's "StarCDN-Hashing" curve = StarCDN
+//                 *minus* hashing).
+//   kStarCdn    — the full system: hashing + relayed fetch (§3.2 + §3.3).
+//   kPrefetch   — the design alternative §3.3 argues against: hashing plus
+//                 *proactive* prefetch of the trailing replica's hot set at
+//                 every scheduler epoch, instead of miss-triggered relay.
+//
+// All variants of one run share the precomputed link schedule, so they see
+// identical orbital dynamics and request assignment; only the caching
+// architecture differs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/bucket_mapper.h"
+#include "core/failure.h"
+#include "core/metrics.h"
+#include "net/latency_model.h"
+#include "orbit/constellation.h"
+#include "sched/scheduler.h"
+#include "trace/record.h"
+
+namespace starcdn::core {
+
+enum class Variant : std::uint8_t {
+  kStatic,
+  kVanillaLru,
+  kHashOnly,
+  kRelayOnly,
+  kStarCdn,
+  kPrefetch,
+};
+
+[[nodiscard]] const char* to_string(Variant v) noexcept;
+
+struct SimConfig {
+  cache::Policy policy = cache::Policy::kLru;
+  util::Bytes cache_capacity = util::gib(20);
+  int buckets = 4;          // L, perfect square; used by hash variants
+  bool relay_east = true;   // keep the bidirectional east link (§3.3)
+  bool sample_latency = true;
+  bool track_per_satellite = false;
+  /// Objects pulled from the trailing replica per epoch by kPrefetch.
+  int prefetch_objects_per_epoch = 64;
+  /// Transient cache-server outage probability per failure window (§3.4);
+  /// 0 disables the model.
+  double transient_down_prob = 0.0;
+  double transient_window_s = 300.0;
+  std::uint64_t seed = 1234;
+};
+
+class Simulator {
+ public:
+  Simulator(const orbit::Constellation& constellation,
+            const sched::LinkSchedule& schedule, SimConfig config,
+            net::LatencyModelParams latency_params = {});
+
+  /// Register a variant before run(); duplicate registration is a no-op.
+  void add_variant(Variant v);
+
+  /// Replay requests (must be time-ordered, e.g. trace::merge_by_time).
+  /// May be called repeatedly to stream a long trace in chunks.
+  void run(const std::vector<trace::Request>& requests);
+
+  [[nodiscard]] const VariantMetrics& metrics(Variant v) const;
+  [[nodiscard]] const BucketMapper& mapper() const noexcept { return mapper_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  /// Number of bucket slots each active satellite serves after failure
+  /// remapping (1 on a healthy grid); Fig. 11's x-axis.
+  [[nodiscard]] std::vector<int> buckets_served_per_satellite() const;
+
+ private:
+  struct VariantState {
+    Variant variant;
+    VariantMetrics metrics;
+    std::vector<std::unique_ptr<cache::Cache>> caches;  // per satellite slot
+    std::vector<std::uint32_t> prefetch_epoch;          // kPrefetch bookkeeping
+  };
+
+  void process(VariantState& vs, const trace::Request& r,
+               std::size_t sched_epoch, std::size_t real_epoch,
+               const sched::Candidate& fc);
+  void maybe_prefetch(VariantState& vs, int serving_idx, std::size_t epoch);
+  cache::Cache& cache_at(VariantState& vs, int sat_index);
+  void note_sat(VariantState& vs, int sat_index, const trace::Request& r,
+                bool hit);
+
+  const orbit::Constellation* constellation_;
+  const sched::LinkSchedule* schedule_;
+  SimConfig config_;
+  BucketMapper mapper_;
+  net::LatencyModel latency_;
+  TransientFailureModel transient_;
+  util::Rng rng_;
+  std::uint64_t request_counter_ = 0;
+  std::vector<VariantState> variants_;
+};
+
+}  // namespace starcdn::core

@@ -1,0 +1,25 @@
+#include "net/bandwidth.h"
+
+namespace starcdn::net {
+
+void UplinkMeter::add(int sat_index, std::size_t epoch, util::Bytes bytes) {
+  if (epoch != current_epoch_) {
+    flush();
+    current_epoch_ = epoch;
+  }
+  epoch_bytes_[sat_index] += bytes;
+  total_ += bytes;
+}
+
+void UplinkMeter::flush() {
+  for (const auto& [sat, bytes] : epoch_bytes_) {
+    (void)sat;
+    const double gbps =
+        static_cast<double>(bytes) * 8.0 / 1e9 / epoch_s_;
+    stats_.add(gbps);
+    if (gbps > capacity_gbps_) ++overloads_;
+  }
+  epoch_bytes_.clear();
+}
+
+}  // namespace starcdn::net

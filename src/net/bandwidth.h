@@ -1,0 +1,55 @@
+// Ground-satellite uplink bandwidth accounting.
+//
+// Table 1 gives each GSL a 20 Gbps budget — the scarce resource StarCDN
+// exists to protect. This meter tracks, per scheduler epoch, how many bytes
+// each satellite pulled from the ground, and folds them into throughput
+// statistics: mean/peak per-satellite uplink rate and the number of
+// (satellite, epoch) cells that would have exceeded the link budget.
+// Requests must be fed in non-decreasing epoch order (the simulator's
+// natural replay order).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace starcdn::net {
+
+class UplinkMeter {
+ public:
+  explicit UplinkMeter(double epoch_s = 15.0,
+                       double link_capacity_gbps = 20.0) noexcept
+      : epoch_s_(epoch_s), capacity_gbps_(link_capacity_gbps) {}
+
+  /// Record an origin fetch of `bytes` through `sat_index`'s GSL.
+  void add(int sat_index, std::size_t epoch, util::Bytes bytes);
+
+  /// Fold any still-buffered epoch into the statistics.
+  void flush();
+
+  /// Per-(satellite, epoch) uplink throughput in Gbps, over cells with any
+  /// uplink traffic. Call flush() first.
+  [[nodiscard]] const util::RunningStats& throughput_gbps() const noexcept {
+    return stats_;
+  }
+
+  /// Cells whose required throughput exceeded the GSL budget.
+  [[nodiscard]] std::uint64_t overloaded_cells() const noexcept {
+    return overloads_;
+  }
+  [[nodiscard]] util::Bytes total_bytes() const noexcept { return total_; }
+  [[nodiscard]] double capacity_gbps() const noexcept { return capacity_gbps_; }
+
+ private:
+  double epoch_s_;
+  double capacity_gbps_;
+  std::size_t current_epoch_ = 0;
+  std::unordered_map<int, util::Bytes> epoch_bytes_;
+  util::RunningStats stats_;
+  std::uint64_t overloads_ = 0;
+  util::Bytes total_ = 0;
+};
+
+}  // namespace starcdn::net

@@ -1,0 +1,138 @@
+#include "net/isl_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace starcdn::net {
+
+using orbit::SatelliteId;
+
+IslGraph::IslGraph(const orbit::Constellation& constellation)
+    : constellation_(&constellation) {
+  for (int i = 0; i < constellation.size(); ++i) {
+    const SatelliteId id = constellation.id_of(i);
+    const auto consider = [&](SatelliteId nbr, bool intra) {
+      const int j = constellation.index_of(nbr);
+      if (j <= i) return;  // count each undirected grid edge once
+      const bool a_ok = constellation.active(i);
+      const bool b_ok = constellation.active(j);
+      if (a_ok && b_ok) {
+        edges_.push_back({i, j, intra});
+      } else if (a_ok != b_ok) {
+        ++broken_;  // exactly one live endpoint: a usable laser is dark
+      }
+    };
+    consider(constellation.intra_next(id), true);
+    consider(constellation.intra_prev(id), true);
+    consider(constellation.inter_east(id), false);
+    consider(constellation.inter_west(id), false);
+  }
+}
+
+std::vector<int> IslGraph::neighbors(int sat_index) const {
+  const auto& c = *constellation_;
+  std::vector<int> out;
+  if (!c.active(sat_index)) return out;
+  const SatelliteId id = c.id_of(sat_index);
+  for (const SatelliteId nbr :
+       {c.intra_next(id), c.intra_prev(id), c.inter_east(id), c.inter_west(id)}) {
+    const int j = c.index_of(nbr);
+    if (c.active(j)) out.push_back(j);
+  }
+  return out;
+}
+
+bool IslGraph::l_path_clear(SatelliteId a, SatelliteId b) const {
+  const auto p = l_path(a, b);
+  return p.has_value();
+}
+
+std::optional<std::vector<int>> IslGraph::l_path(SatelliteId a,
+                                                 SatelliteId b) const {
+  // Walk planes first (shorter toroidal direction), then slots; every
+  // intermediate satellite must be active. This is the canonical grid route
+  // used by StarCDN's bucket routing.
+  const auto& c = *constellation_;
+  const int P = c.planes();
+  const int S = c.slots_per_plane();
+  auto signed_wrap = [](int d, int n) {
+    d %= n;
+    if (d > n / 2) d -= n;
+    if (d < -(n - 1) / 2) d += n;
+    return d;
+  };
+  const int dp = signed_wrap(b.plane - a.plane, P);
+  const int ds = signed_wrap(b.slot - a.slot, S);
+  std::vector<int> path{c.index_of(a)};
+  SatelliteId cur = a;
+  if (!c.active(c.index_of(cur))) return std::nullopt;
+  for (int step = 0; step < std::abs(dp); ++step) {
+    cur = c.plane_offset(cur, dp > 0 ? 1 : -1);
+    if (!c.active(c.index_of(cur))) return std::nullopt;
+    path.push_back(c.index_of(cur));
+  }
+  for (int step = 0; step < std::abs(ds); ++step) {
+    cur = c.slot_offset(cur, ds > 0 ? 1 : -1);
+    if (!c.active(c.index_of(cur))) return std::nullopt;
+    path.push_back(c.index_of(cur));
+  }
+  return path;
+}
+
+std::optional<std::vector<int>> IslGraph::bfs_path(int from, int to) const {
+  const auto& c = *constellation_;
+  std::vector<int> parent(static_cast<std::size_t>(c.size()), -2);
+  std::deque<int> queue;
+  parent[static_cast<std::size_t>(from)] = -1;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    const int cur = queue.front();
+    queue.pop_front();
+    if (cur == to) break;
+    for (const int nbr : neighbors(cur)) {
+      if (parent[static_cast<std::size_t>(nbr)] == -2) {
+        parent[static_cast<std::size_t>(nbr)] = cur;
+        queue.push_back(nbr);
+      }
+    }
+  }
+  if (parent[static_cast<std::size_t>(to)] == -2) return std::nullopt;
+  std::vector<int> path;
+  for (int v = to; v != -1; v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<std::vector<int>> IslGraph::shortest_path(int from,
+                                                        int to) const {
+  const auto& c = *constellation_;
+  if (!c.active(from) || !c.active(to)) return std::nullopt;
+  if (from == to) return std::vector<int>{from};
+  if (auto p = l_path(c.id_of(from), c.id_of(to))) return p;
+  return bfs_path(from, to);
+}
+
+std::optional<int> IslGraph::shortest_hops(int from, int to) const {
+  const auto p = shortest_path(from, to);
+  if (!p) return std::nullopt;
+  return static_cast<int>(p->size()) - 1;
+}
+
+std::optional<util::Millis> IslGraph::path_delay_ms(int from, int to,
+                                                    double t_s) const {
+  const auto p = shortest_path(from, to);
+  if (!p) return std::nullopt;
+  const auto& c = *constellation_;
+  util::Millis total = 0.0;
+  for (std::size_t i = 0; i + 1 < p->size(); ++i) {
+    const orbit::Vec3 a = c.position_ecef(c.id_of((*p)[i]), t_s);
+    const orbit::Vec3 b = c.position_ecef(c.id_of((*p)[i + 1]), t_s);
+    total += util::propagation_delay_ms(orbit::distance(a, b));
+  }
+  return total;
+}
+
+}  // namespace starcdn::net

@@ -1,0 +1,73 @@
+// The +grid inter-satellite-link topology and routing over it.
+//
+// Starlink satellites carry four ISLs: intra-orbit previous/next and
+// inter-orbit west/east (§2.1). Links to inactive (out-of-slot) satellites
+// cannot be established (§5.1); the paper measured 438 such broken ISLs for
+// 126 inactive slots. This module materializes that graph, reports broken
+// links, and routes requests: fast O(1) toroidal-grid paths on the healthy
+// grid with a BFS fallback when the path crosses failures.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "orbit/constellation.h"
+#include "util/units.h"
+
+namespace starcdn::net {
+
+struct IslEdge {
+  int a = 0;  // linear satellite indices, a < b canonical order
+  int b = 0;
+  bool intra_orbit = false;
+};
+
+class IslGraph {
+ public:
+  explicit IslGraph(const orbit::Constellation& constellation);
+
+  [[nodiscard]] const orbit::Constellation& constellation() const noexcept {
+    return *constellation_;
+  }
+
+  /// All establishable (both-endpoints-active) ISLs.
+  [[nodiscard]] const std::vector<IslEdge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// ISLs that would exist on the full grid but are broken because one
+  /// endpoint is inactive (the "438 broken ISLs" statistic of §5.4 counts
+  /// grid edges with exactly one active endpoint).
+  [[nodiscard]] int broken_edge_count() const noexcept { return broken_; }
+
+  /// Up to four active neighbours of an active satellite.
+  [[nodiscard]] std::vector<int> neighbors(int sat_index) const;
+
+  /// Hop count of the shortest path between two active satellites using
+  /// only active satellites; nullopt when disconnected. Uses the closed-form
+  /// toroidal distance when no inactive satellite blocks the L-shaped path,
+  /// otherwise falls back to BFS.
+  [[nodiscard]] std::optional<int> shortest_hops(int from, int to) const;
+
+  /// Propagation delay (ms) along the shortest path at time t, following
+  /// the same path selection as shortest_hops; nullopt when disconnected.
+  [[nodiscard]] std::optional<util::Millis> path_delay_ms(int from, int to,
+                                                          double t_s) const;
+
+  /// Full vertex list of one shortest path (inclusive of endpoints).
+  [[nodiscard]] std::optional<std::vector<int>> shortest_path(int from,
+                                                              int to) const;
+
+ private:
+  [[nodiscard]] bool l_path_clear(orbit::SatelliteId a,
+                                  orbit::SatelliteId b) const;
+  [[nodiscard]] std::optional<std::vector<int>> l_path(orbit::SatelliteId a,
+                                                       orbit::SatelliteId b) const;
+  [[nodiscard]] std::optional<std::vector<int>> bfs_path(int from, int to) const;
+
+  const orbit::Constellation* constellation_;
+  std::vector<IslEdge> edges_;
+  int broken_ = 0;
+};
+
+}  // namespace starcdn::net

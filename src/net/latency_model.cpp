@@ -1,0 +1,5 @@
+#include "net/latency_model.h"
+
+// LatencyModel is header-only today; this TU anchors the library target and
+// is the placement site for any future out-of-line additions (e.g. queueing
+// extensions flagged as future work in §7 of the paper).

@@ -1,0 +1,62 @@
+#include "net/link.h"
+
+#include "orbit/visibility.h"
+
+namespace starcdn::net {
+
+const char* to_string(LinkType t) noexcept {
+  switch (t) {
+    case LinkType::kIntraOrbitIsl: return "intra-orbit ISL";
+    case LinkType::kInterOrbitIsl: return "inter-orbit ISL";
+    case LinkType::kGsl: return "GSL";
+  }
+  return "?";
+}
+
+double nominal_bandwidth_gbps(LinkType t) noexcept {
+  switch (t) {
+    case LinkType::kIntraOrbitIsl:
+    case LinkType::kInterOrbitIsl:
+      return 100.0;
+    case LinkType::kGsl:
+      return 20.0;
+  }
+  return 0.0;
+}
+
+LinkDelayStats measure_link_delays(
+    const orbit::Constellation& constellation,
+    const std::vector<util::GeoCoord>& ground_points, double duration_s,
+    double step_s, double min_elevation_deg) {
+  LinkDelayStats stats;
+  const orbit::VisibilityOracle oracle(min_elevation_deg);
+  for (double t = 0.0; t < duration_s; t += step_s) {
+    const auto pos = constellation.all_positions_ecef(t);
+    for (int i = 0; i < constellation.size(); ++i) {
+      if (!constellation.active(i)) continue;
+      const auto id = constellation.id_of(i);
+      const auto sample = [&](orbit::SatelliteId nbr,
+                              util::RunningStats& dst) {
+        if (!constellation.active(nbr)) return;
+        const double d = orbit::distance(
+            pos[static_cast<std::size_t>(i)],
+            pos[static_cast<std::size_t>(constellation.index_of(nbr))]);
+        dst.add(util::propagation_delay_ms(d));
+      };
+      // Each undirected link sampled once: "next" and "east" only.
+      sample(constellation.intra_next(id), stats.intra_orbit_isl);
+      sample(constellation.inter_east(id), stats.inter_orbit_isl);
+    }
+    for (const auto& g : ground_points) {
+      // Sample every satellite the terminal could be scheduled onto — the
+      // Starlink scheduler does not always pick the highest-elevation one,
+      // so Table 1's GSL row spans the whole visible set.
+      for (const auto& v : oracle.visible(g, constellation, pos)) {
+        stats.gsl.add(util::propagation_delay_ms(v.range_km));
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace starcdn::net

@@ -1,0 +1,45 @@
+// Link types and geometric link-delay measurement.
+//
+// Table 1 of the paper gives per-link-type propagation delays and
+// bandwidths for Starlink. Rather than hard-coding those numbers, we derive
+// delays from the constellation geometry (distance / c); the Table 1 bench
+// verifies the derived statistics match the published ones, which validates
+// the orbital substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "orbit/constellation.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace starcdn::net {
+
+enum class LinkType : std::uint8_t {
+  kIntraOrbitIsl,  // previous/next satellite in the same plane (optical)
+  kInterOrbitIsl,  // left/right satellite in adjacent planes (optical)
+  kGsl,            // ground-satellite radio link
+};
+
+[[nodiscard]] const char* to_string(LinkType t) noexcept;
+
+/// Nominal capacities from Table 1 (Gbps). ISLs are optical (100 Gbps);
+/// GSLs are the scarce resource (20 Gbps) StarCDN tries to offload.
+[[nodiscard]] double nominal_bandwidth_gbps(LinkType t) noexcept;
+
+struct LinkDelayStats {
+  util::RunningStats intra_orbit_isl;
+  util::RunningStats inter_orbit_isl;
+  util::RunningStats gsl;
+};
+
+/// Sample propagation delays of every grid ISL plus user->satellite GSLs
+/// over `duration_s` at `step_s` resolution. GSL samples are taken from the
+/// given ground points to their highest-elevation visible satellite, which
+/// matches how Table 1's GSL row was measured (serving link, not all links).
+[[nodiscard]] LinkDelayStats measure_link_delays(
+    const orbit::Constellation& constellation,
+    const std::vector<util::GeoCoord>& ground_points, double duration_s,
+    double step_s, double min_elevation_deg = 25.0);
+
+}  // namespace starcdn::net

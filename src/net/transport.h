@@ -1,0 +1,97 @@
+// Message transports for the cluster replayer.
+//
+// The paper's replayer spawns one process per satellite and mimics ISLs
+// with TCP sockets. We provide the same wire behaviour behind a Channel
+// interface with two implementations: an in-process queue pair (fast,
+// deterministic unit tests and large constellations) and a real TCP
+// loopback channel (faithful to the paper's setup; used by the replay
+// module's socket mode and its integration test).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "net/codec.h"
+
+namespace starcdn::net {
+
+/// A bidirectional, ordered, reliable message channel (ISL abstraction).
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Enqueue a message for the peer. Throws std::runtime_error on a broken
+  /// channel.
+  virtual void send(const Message& m) = 0;
+
+  /// Blocking receive; std::nullopt means the peer closed the channel.
+  virtual std::optional<Message> recv() = 0;
+
+  /// Non-blocking receive; std::nullopt means "nothing available now"
+  /// (distinguish closure via `closed()`).
+  virtual std::optional<Message> try_recv() = 0;
+
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool closed() const = 0;
+};
+
+/// Create a connected pair of in-process channels.
+[[nodiscard]] std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+make_inproc_pair();
+
+/// TCP channel over a connected socket; frames via FrameCodec.
+class TcpChannel final : public Channel {
+ public:
+  /// Wrap an already-connected socket fd (takes ownership).
+  explicit TcpChannel(int fd);
+  ~TcpChannel() override;
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  void send(const Message& m) override;
+  std::optional<Message> recv() override;
+  std::optional<Message> try_recv() override;
+  void close() override;
+  [[nodiscard]] bool closed() const override;
+
+  /// Connect to host:port; throws std::runtime_error on failure.
+  [[nodiscard]] static std::unique_ptr<TcpChannel> connect(
+      const std::string& host, std::uint16_t port);
+
+ private:
+  std::optional<Message> recv_impl(bool blocking);
+
+  mutable std::mutex send_mu_;
+  mutable std::mutex recv_mu_;
+  int fd_ = -1;
+  bool closed_ = false;
+  FrameDecoder decoder_;
+};
+
+/// Listening socket that accepts TcpChannels.
+class TcpListener {
+ public:
+  /// Bind to 127.0.0.1:port; port 0 picks an ephemeral port (see `port()`).
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocking accept of the next connection.
+  [[nodiscard]] std::unique_ptr<TcpChannel> accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace starcdn::net

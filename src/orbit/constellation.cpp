@@ -1,0 +1,141 @@
+#include "orbit/constellation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace starcdn::orbit {
+
+namespace {
+
+int wrap(int v, int n) noexcept {
+  v %= n;
+  return v < 0 ? v + n : v;
+}
+
+}  // namespace
+
+Constellation::Constellation(const WalkerParams& params) : params_(params) {
+  if (params.planes <= 0 || params.slots_per_plane <= 0) {
+    throw std::invalid_argument("Constellation: non-positive grid shape");
+  }
+  const int P = params.planes;
+  const int S = params.slots_per_plane;
+  elements_.resize(static_cast<std::size_t>(P) * S);
+  active_.assign(elements_.size(), true);
+  const double a = util::kEarthRadiusKm + params.altitude_km;
+  for (int p = 0; p < P; ++p) {
+    for (int s = 0; s < S; ++s) {
+      CircularElements e;
+      e.semi_major_axis_km = a;
+      e.inclination_rad = util::deg2rad(params.inclination_deg);
+      e.raan_rad = 2.0 * M_PI * p / P;
+      // Walker-delta phasing: in-plane spacing plus per-plane phase offset.
+      e.arg_latitude_epoch_rad =
+          2.0 * M_PI * (static_cast<double>(s) / S +
+                        static_cast<double>(params.phase_factor) * p /
+                            (static_cast<double>(P) * S));
+      elements_[static_cast<std::size_t>(index_of({p, s}))] = e;
+    }
+  }
+}
+
+Constellation::Constellation(const WalkerParams& grid_shape,
+                             std::span<const Tle> tles)
+    : Constellation(grid_shape) {
+  // Slots without a matching TLE become inactive; matched slots adopt the
+  // TLE's elements. Planes are recovered from RAAN, slots from argument of
+  // latitude within the plane.
+  active_.assign(elements_.size(), false);
+  const int P = params_.planes;
+  const int S = params_.slots_per_plane;
+  for (const Tle& t : tles) {
+    const CircularElements e = t.to_circular();
+    const double raan_frac = e.raan_rad / (2.0 * M_PI);
+    const int p = wrap(static_cast<int>(std::lround(raan_frac * P)), P);
+    const double phase_offset =
+        static_cast<double>(params_.phase_factor) * p /
+        (static_cast<double>(P) * S);
+    double u_frac =
+        e.arg_latitude_epoch_rad / (2.0 * M_PI) - phase_offset;
+    u_frac -= std::floor(u_frac);
+    const int s = wrap(static_cast<int>(std::lround(u_frac * S)), S);
+    const int idx = index_of({p, s});
+    elements_[static_cast<std::size_t>(idx)] = e;
+    active_[static_cast<std::size_t>(idx)] = true;
+  }
+}
+
+int Constellation::index_of(SatelliteId id) const noexcept {
+  return id.plane * params_.slots_per_plane + id.slot;
+}
+
+SatelliteId Constellation::id_of(int index) const noexcept {
+  return {index / params_.slots_per_plane, index % params_.slots_per_plane};
+}
+
+int Constellation::active_count() const noexcept {
+  return static_cast<int>(std::count(active_.begin(), active_.end(), true));
+}
+
+void Constellation::knock_out_random(double fraction, util::Rng& rng) {
+  const auto target = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(size())));
+  std::size_t knocked = 0;
+  while (knocked < target) {
+    const auto idx = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(size())));
+    if (active_[idx]) {
+      active_[idx] = false;
+      ++knocked;
+    }
+  }
+}
+
+void Constellation::set_active(SatelliteId id, bool active_flag) noexcept {
+  active_[static_cast<std::size_t>(index_of(id))] = active_flag;
+}
+
+Vec3 Constellation::position_ecef(SatelliteId id, double t_s) const noexcept {
+  return orbit::ecef_position(elements(id), t_s);
+}
+
+std::vector<Vec3> Constellation::all_positions_ecef(double t_s) const {
+  std::vector<Vec3> out(static_cast<std::size_t>(size()));
+  for (int i = 0; i < size(); ++i) {
+    out[static_cast<std::size_t>(i)] =
+        orbit::ecef_position(elements_[static_cast<std::size_t>(i)], t_s);
+  }
+  return out;
+}
+
+SatelliteId Constellation::intra_next(SatelliteId id) const noexcept {
+  return {id.plane, wrap(id.slot + 1, params_.slots_per_plane)};
+}
+SatelliteId Constellation::intra_prev(SatelliteId id) const noexcept {
+  return {id.plane, wrap(id.slot - 1, params_.slots_per_plane)};
+}
+SatelliteId Constellation::inter_east(SatelliteId id) const noexcept {
+  return {wrap(id.plane + 1, params_.planes), id.slot};
+}
+SatelliteId Constellation::inter_west(SatelliteId id) const noexcept {
+  return {wrap(id.plane - 1, params_.planes), id.slot};
+}
+SatelliteId Constellation::plane_offset(SatelliteId id, int dp) const noexcept {
+  return {wrap(id.plane + dp, params_.planes), id.slot};
+}
+SatelliteId Constellation::slot_offset(SatelliteId id, int ds) const noexcept {
+  return {id.plane, wrap(id.slot + ds, params_.slots_per_plane)};
+}
+
+int Constellation::grid_hops(SatelliteId a, SatelliteId b) const noexcept {
+  const int P = params_.planes;
+  const int S = params_.slots_per_plane;
+  const int dp = std::abs(a.plane - b.plane);
+  const int ds = std::abs(a.slot - b.slot);
+  return std::min(dp, P - dp) + std::min(ds, S - ds);
+}
+
+}  // namespace starcdn::orbit

@@ -1,0 +1,109 @@
+// Walker-delta constellation model of the Starlink 53-degree shell.
+//
+// The paper simulates 1,170 active satellites out of the 72-plane / 18-slot
+// (=1,296 slot) Starlink Gen-1 shell at 53 degrees inclination and 550 km
+// altitude. This module generates that shell (or ingests TLEs), tracks
+// which slots are occupied by an active satellite, and exposes the
+// (plane, slot) grid structure that both the ISL topology and the
+// consistent-hashing bucket layout are built on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "orbit/elements.h"
+#include "orbit/propagator.h"
+#include "orbit/tle.h"
+#include "orbit/vec3.h"
+#include "util/rng.h"
+
+namespace starcdn::orbit {
+
+/// Grid coordinate of a satellite slot. `plane` indexes the orbital plane
+/// (RAAN order), `slot` the position within the plane (argument-of-latitude
+/// order). Both wrap: the grid is a torus.
+struct SatelliteId {
+  int plane = 0;
+  int slot = 0;
+
+  friend bool operator==(const SatelliteId&, const SatelliteId&) = default;
+};
+
+struct WalkerParams {
+  int planes = 72;
+  int slots_per_plane = 18;
+  double inclination_deg = 53.0;
+  double altitude_km = 550.0;
+  /// Walker phasing factor F: slot k of plane p leads by F*p/(P*S) orbits.
+  int phase_factor = 1;
+};
+
+/// The constellation: a fixed slot grid plus per-slot elements and an
+/// active/out-of-slot mask (the paper found 126/1296 slots inactive, §5.4).
+class Constellation {
+ public:
+  /// Generate a Walker-delta shell.
+  explicit Constellation(const WalkerParams& params);
+
+  /// Build from parsed TLEs: planes are recovered by clustering RAAN, slots
+  /// by sorting argument of latitude within each plane. Slots without a TLE
+  /// are marked inactive.
+  Constellation(const WalkerParams& grid_shape, std::span<const Tle> tles);
+
+  [[nodiscard]] int planes() const noexcept { return params_.planes; }
+  [[nodiscard]] int slots_per_plane() const noexcept {
+    return params_.slots_per_plane;
+  }
+  [[nodiscard]] int size() const noexcept {
+    return params_.planes * params_.slots_per_plane;
+  }
+  [[nodiscard]] const WalkerParams& params() const noexcept { return params_; }
+
+  [[nodiscard]] int index_of(SatelliteId id) const noexcept;
+  [[nodiscard]] SatelliteId id_of(int index) const noexcept;
+
+  [[nodiscard]] bool active(SatelliteId id) const noexcept {
+    return active_[static_cast<std::size_t>(index_of(id))];
+  }
+  [[nodiscard]] bool active(int index) const noexcept {
+    return active_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] int active_count() const noexcept;
+
+  /// Mark `fraction` of slots inactive, chosen uniformly (fault
+  /// experiments, Fig. 11). Deterministic given `rng`.
+  void knock_out_random(double fraction, util::Rng& rng);
+  void set_active(SatelliteId id, bool active_flag) noexcept;
+
+  [[nodiscard]] const CircularElements& elements(SatelliteId id) const noexcept {
+    return elements_[static_cast<std::size_t>(index_of(id))];
+  }
+
+  /// ECEF position of one satellite at time t (seconds past epoch).
+  [[nodiscard]] Vec3 position_ecef(SatelliteId id, double t_s) const noexcept;
+
+  /// ECEF positions of all slots (inactive slots still get their nominal
+  /// position; callers must consult `active`). Size == size().
+  [[nodiscard]] std::vector<Vec3> all_positions_ecef(double t_s) const;
+
+  // --- Toroidal grid neighbours (+grid ISL endpoints) ---------------------
+  [[nodiscard]] SatelliteId intra_next(SatelliteId id) const noexcept;   // ahead in orbit
+  [[nodiscard]] SatelliteId intra_prev(SatelliteId id) const noexcept;   // behind in orbit
+  [[nodiscard]] SatelliteId inter_east(SatelliteId id) const noexcept;   // plane + 1
+  [[nodiscard]] SatelliteId inter_west(SatelliteId id) const noexcept;   // plane - 1
+  /// Neighbour `dp` planes east (negative = west), same slot.
+  [[nodiscard]] SatelliteId plane_offset(SatelliteId id, int dp) const noexcept;
+  /// Neighbour `ds` slots ahead (negative = behind), same plane.
+  [[nodiscard]] SatelliteId slot_offset(SatelliteId id, int ds) const noexcept;
+
+  /// Minimal toroidal grid hop distance between two slots.
+  [[nodiscard]] int grid_hops(SatelliteId a, SatelliteId b) const noexcept;
+
+ private:
+  WalkerParams params_;
+  std::vector<CircularElements> elements_;
+  std::vector<bool> active_;
+};
+
+}  // namespace starcdn::orbit

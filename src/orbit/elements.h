@@ -1,0 +1,29 @@
+// Keplerian orbital elements for circular LEO orbits.
+//
+// StarCDN models the Starlink shell as circular orbits (eccentricity of the
+// operational shell is < 0.0002), so the element set reduces to semi-major
+// axis, inclination, RAAN and the argument of latitude at epoch. The TLE
+// parser maps general element sets onto this circular model.
+#pragma once
+
+namespace starcdn::orbit {
+
+struct CircularElements {
+  double semi_major_axis_km = 6921.0;  // 550 km altitude + Earth radius
+  double inclination_rad = 0.0;
+  double raan_rad = 0.0;            // right ascension of ascending node
+  double arg_latitude_epoch_rad = 0.0;  // u0 = omega + M0 for circular orbits
+};
+
+/// Full Keplerian element set for elliptical orbits (TLE fidelity path);
+/// the circular model above is the fast path for the operational shell.
+struct KeplerianElements {
+  double semi_major_axis_km = 6921.0;
+  double eccentricity = 0.0;
+  double inclination_rad = 0.0;
+  double raan_rad = 0.0;
+  double arg_perigee_rad = 0.0;
+  double mean_anomaly_epoch_rad = 0.0;
+};
+
+}  // namespace starcdn::orbit

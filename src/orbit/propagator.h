@@ -1,0 +1,56 @@
+// Circular two-body propagation, ECI/ECEF frames, and geodetic conversion.
+//
+// This is the orbital-mechanics substrate that substitutes for the paper's
+// use of Microsoft CosmicBeats: it produces satellite positions over time,
+// ground tracks (Fig. 3), and the inputs for visibility and link-delay
+// computation (Table 1).
+#pragma once
+
+#include "orbit/elements.h"
+#include "orbit/vec3.h"
+#include "util/geo.h"
+
+namespace starcdn::orbit {
+
+/// Mean motion n = sqrt(mu/a^3) in rad/s.
+[[nodiscard]] double mean_motion_rad_s(const CircularElements& e) noexcept;
+
+/// Orbital period in seconds (~5'740 s, i.e. about 95 min, for 550 km).
+[[nodiscard]] double orbital_period_s(const CircularElements& e) noexcept;
+
+/// Position in the Earth-Centered Inertial frame at `t` seconds past epoch.
+[[nodiscard]] Vec3 eci_position(const CircularElements& e, double t_s) noexcept;
+
+/// Rotate ECI -> ECEF given elapsed time (Earth rotates by w_e * t; the
+/// epoch is defined with ECI and ECEF aligned, which is sufficient for a
+/// self-consistent simulation).
+[[nodiscard]] Vec3 eci_to_ecef(const Vec3& eci, double t_s) noexcept;
+
+/// Satellite position directly in ECEF.
+[[nodiscard]] Vec3 ecef_position(const CircularElements& e, double t_s) noexcept;
+
+/// Geodetic (spherical-Earth) <-> ECEF for ground points at given altitude.
+[[nodiscard]] Vec3 geodetic_to_ecef(const util::GeoCoord& g,
+                                    double altitude_km = 0.0) noexcept;
+[[nodiscard]] util::GeoCoord ecef_to_geodetic(const Vec3& ecef) noexcept;
+
+/// Sub-satellite point (ground track sample) at time t.
+[[nodiscard]] util::GeoCoord ground_track_point(const CircularElements& e,
+                                                double t_s) noexcept;
+
+// --- Elliptical (full Keplerian) propagation --------------------------------
+
+/// Solve Kepler's equation M = E - e*sin(E) for the eccentric anomaly E
+/// via Newton iteration; accurate to ~1e-12 rad for e < 0.9.
+[[nodiscard]] double solve_kepler(double mean_anomaly_rad,
+                                  double eccentricity) noexcept;
+
+[[nodiscard]] double mean_motion_rad_s(const KeplerianElements& e) noexcept;
+
+/// ECI position of an elliptical orbit at `t` seconds past epoch.
+[[nodiscard]] Vec3 eci_position(const KeplerianElements& e, double t_s) noexcept;
+
+/// ECEF position of an elliptical orbit.
+[[nodiscard]] Vec3 ecef_position(const KeplerianElements& e, double t_s) noexcept;
+
+}  // namespace starcdn::orbit

@@ -1,0 +1,46 @@
+#include "orbit/visibility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "orbit/propagator.h"
+
+namespace starcdn::orbit {
+
+double elevation_deg(const Vec3& ground_ecef, const Vec3& sat_ecef) noexcept {
+  const Vec3 up = ground_ecef.normalized();
+  const Vec3 to_sat = sat_ecef - ground_ecef;
+  const double d = to_sat.norm();
+  if (d <= 0.0) return 90.0;
+  const double sin_el = up.dot(to_sat) / d;
+  return util::rad2deg(std::asin(std::clamp(sin_el, -1.0, 1.0)));
+}
+
+double slant_range_km(const Vec3& ground_ecef, const Vec3& sat_ecef) noexcept {
+  return distance(ground_ecef, sat_ecef);
+}
+
+std::vector<VisibleSat> VisibilityOracle::visible(
+    const util::GeoCoord& ground, const Constellation& constellation,
+    const std::vector<Vec3>& sat_positions_ecef) const {
+  const Vec3 g = geodetic_to_ecef(ground);
+  std::vector<VisibleSat> out;
+  for (int i = 0; i < constellation.size(); ++i) {
+    if (!constellation.active(i)) continue;
+    const Vec3& s = sat_positions_ecef[static_cast<std::size_t>(i)];
+    // Cheap reject: a 550 km satellite more than ~2,600 km of slant range
+    // away is always below a 25-degree mask; skip the asin for those.
+    const double range = slant_range_km(g, s);
+    if (range > 3500.0) continue;
+    const double el = elevation_deg(g, s);
+    if (el >= min_elevation_deg_) {
+      out.push_back({i, el, range});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const VisibleSat& a, const VisibleSat& b) {
+    return a.elevation_deg > b.elevation_deg;
+  });
+  return out;
+}
+
+}  // namespace starcdn::orbit

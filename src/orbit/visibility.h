@@ -1,0 +1,53 @@
+// Ground-to-satellite visibility: which satellites a user terminal or
+// ground station can see above its elevation mask.
+//
+// Starlink user terminals require roughly 25 degrees of elevation; at
+// 550 km this yields the "10+ satellites in view" property the paper relies
+// on (§3.1.2) and defines the first-contact candidate set for the link
+// scheduler.
+#pragma once
+
+#include <vector>
+
+#include "orbit/constellation.h"
+#include "orbit/vec3.h"
+#include "util/geo.h"
+
+namespace starcdn::orbit {
+
+/// Elevation angle (degrees) of a satellite at `sat_ecef` as seen from the
+/// ground point `ground_ecef`; negative when below the horizon.
+[[nodiscard]] double elevation_deg(const Vec3& ground_ecef,
+                                   const Vec3& sat_ecef) noexcept;
+
+/// Slant range in km between a ground point and a satellite.
+[[nodiscard]] double slant_range_km(const Vec3& ground_ecef,
+                                    const Vec3& sat_ecef) noexcept;
+
+struct VisibleSat {
+  int sat_index = 0;       // linear index into the constellation
+  double elevation_deg = 0.0;
+  double range_km = 0.0;
+};
+
+/// Computes per-ground-point visible sets against a position snapshot.
+class VisibilityOracle {
+ public:
+  explicit VisibilityOracle(double min_elevation_deg = 25.0) noexcept
+      : min_elevation_deg_(min_elevation_deg) {}
+
+  [[nodiscard]] double min_elevation_deg() const noexcept {
+    return min_elevation_deg_;
+  }
+
+  /// All active satellites above the mask, sorted by descending elevation
+  /// (best first-contact candidate first).
+  [[nodiscard]] std::vector<VisibleSat> visible(
+      const util::GeoCoord& ground, const Constellation& constellation,
+      const std::vector<Vec3>& sat_positions_ecef) const;
+
+ private:
+  double min_elevation_deg_;
+};
+
+}  // namespace starcdn::orbit

@@ -1,0 +1,61 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/units.h"
+
+namespace starcdn::sched {
+
+LinkSchedule::LinkSchedule(const orbit::Constellation& constellation,
+                           const std::vector<util::City>& cities,
+                           double duration_s, const SchedulerParams& params)
+    : params_(params), n_cities_(cities.size()) {
+  epochs_ = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(duration_s / params.epoch_s)));
+  table_.resize(epochs_ * n_cities_);
+  const orbit::VisibilityOracle oracle(params.min_elevation_deg);
+  for (std::size_t e = 0; e < epochs_; ++e) {
+    const double t = static_cast<double>(e) * params.epoch_s;
+    const auto positions = constellation.all_positions_ecef(t);
+    for (std::size_t c = 0; c < n_cities_; ++c) {
+      const auto visible = oracle.visible(cities[c].coord, constellation,
+                                          positions);
+      auto& cell = table_[e * n_cities_ + c];
+      const std::size_t k = std::min<std::size_t>(
+          visible.size(), static_cast<std::size_t>(params.candidates_per_cell));
+      cell.reserve(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        cell.push_back(
+            {visible[i].sat_index,
+             static_cast<float>(util::propagation_delay_ms(visible[i].range_km))});
+      }
+    }
+  }
+}
+
+std::size_t LinkSchedule::epoch_of(double t_s) const noexcept {
+  const auto e = static_cast<std::size_t>(std::max(0.0, t_s) / params_.epoch_s);
+  return std::min(e, epochs_ - 1);
+}
+
+Candidate LinkSchedule::first_contact(std::size_t epoch, std::size_t city,
+                                      std::uint64_t user_id) const noexcept {
+  const auto& cell = candidates(epoch, city);
+  if (cell.empty()) return {};
+  // Hash (user, epoch) so each user sticks to one satellite within an epoch
+  // but the population reshuffles when the scheduler reconfigures.
+  const std::uint64_t h = util::hash_combine(
+      util::splitmix64(user_id), util::splitmix64(epoch * 1315423911ULL));
+  return cell[h % cell.size()];
+}
+
+double LinkSchedule::mean_candidates() const noexcept {
+  if (table_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& cell : table_) total += static_cast<double>(cell.size());
+  return total / static_cast<double>(table_.size());
+}
+
+}  // namespace starcdn::sched

@@ -1,0 +1,71 @@
+// User-to-satellite link scheduling (the Starlink scheduler model).
+//
+// Starlink reassigns user terminals to satellites every 15 seconds (§3.1.2,
+// [51]); at any instant a user sees 10+ candidate satellites. We model this
+// as discrete epochs: per (epoch, city) we precompute the top-K visible
+// satellites, and each logical user of that city is hashed onto one of
+// them for the duration of the epoch. Precomputing the schedule once lets
+// every simulator variant and cache configuration replay the same orbital
+// dynamics without recomputing geometry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orbit/constellation.h"
+#include "orbit/visibility.h"
+#include "util/geo.h"
+
+namespace starcdn::sched {
+
+struct Candidate {
+  std::int32_t sat_index = -1;
+  float gsl_one_way_ms = 0.0F;  // from the slant range at epoch start
+};
+
+struct SchedulerParams {
+  double epoch_s = 15.0;           // Starlink reconfigure interval
+  double min_elevation_deg = 25.0;
+  int candidates_per_cell = 10;    // top-K satellites kept per (epoch, city)
+  int users_per_city = 64;         // logical user terminals per city
+};
+
+/// Precomputed link schedule over a time horizon.
+class LinkSchedule {
+ public:
+  LinkSchedule(const orbit::Constellation& constellation,
+               const std::vector<util::City>& cities, double duration_s,
+               const SchedulerParams& params = {});
+
+  [[nodiscard]] std::size_t epochs() const noexcept { return epochs_; }
+  [[nodiscard]] double epoch_s() const noexcept { return params_.epoch_s; }
+  [[nodiscard]] const SchedulerParams& params() const noexcept {
+    return params_;
+  }
+
+  [[nodiscard]] std::size_t epoch_of(double t_s) const noexcept;
+
+  /// Candidate set for a city at an epoch (possibly empty during a
+  /// coverage gap).
+  [[nodiscard]] const std::vector<Candidate>& candidates(
+      std::size_t epoch, std::size_t city) const noexcept {
+    return table_[epoch * n_cities_ + city];
+  }
+
+  /// First-contact satellite for a logical user, stable within an epoch and
+  /// re-randomized across epochs (the scheduler's 15 s reshuffle).
+  [[nodiscard]] Candidate first_contact(std::size_t epoch, std::size_t city,
+                                        std::uint64_t user_id) const noexcept;
+
+  /// Mean number of visible satellites across cells (sanity statistic; the
+  /// paper quotes "10+ satellites in view").
+  [[nodiscard]] double mean_candidates() const noexcept;
+
+ private:
+  SchedulerParams params_;
+  std::size_t n_cities_ = 0;
+  std::size_t epochs_ = 0;
+  std::vector<std::vector<Candidate>> table_;  // [epoch * n_cities + city]
+};
+
+}  // namespace starcdn::sched

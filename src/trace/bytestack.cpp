@@ -1,0 +1,155 @@
+#include "trace/bytestack.h"
+
+#include <utility>
+
+#include "util/hash.h"
+
+namespace starcdn::trace {
+
+struct ByteStack::Node {
+  StackItem item;
+  std::uint64_t priority;
+  Bytes subtree_bytes;
+  std::size_t subtree_count;
+  Node* left = nullptr;
+  Node* right = nullptr;
+
+  Node(const StackItem& it, std::uint64_t prio)
+      : item(it), priority(prio), subtree_bytes(it.size), subtree_count(1) {}
+};
+
+namespace {
+
+using Node = ByteStack::Node;
+
+}  // namespace
+
+// Static helpers operating on the node type; defined as members' friends via
+// file-local functions taking Node*.
+namespace {
+
+Bytes bytes_of(const Node* n) noexcept { return n ? n->subtree_bytes : 0; }
+std::size_t count_of(const Node* n) noexcept { return n ? n->subtree_count : 0; }
+
+void update(Node* n) noexcept {
+  n->subtree_bytes = n->item.size + bytes_of(n->left) + bytes_of(n->right);
+  n->subtree_count = 1 + count_of(n->left) + count_of(n->right);
+}
+
+/// Split so that `left` is the *minimal* prefix whose byte sum reaches
+/// `depth` — Algorithm 1 inserts at the first position j where
+/// sum_{k<j} size_k >= d.
+void split_by_bytes(Node* n, Bytes depth, Node*& left, Node*& right) {
+  if (!n) {
+    left = right = nullptr;
+    return;
+  }
+  if (depth == 0) {  // an empty prefix already satisfies the bound
+    left = nullptr;
+    right = n;
+    return;
+  }
+  const Bytes left_bytes = bytes_of(n->left);
+  if (left_bytes >= depth) {
+    // The bound is reached inside the left subtree.
+    split_by_bytes(n->left, depth, left, n->left);
+    right = n;
+    update(right);
+  } else {
+    // This node is needed in the prefix; whatever depth it does not cover
+    // continues into the right subtree (saturating at zero).
+    const Bytes covered = left_bytes + n->item.size;
+    const Bytes rem = depth > covered ? depth - covered : 0;
+    split_by_bytes(n->right, rem, n->right, right);
+    left = n;
+    update(left);
+  }
+}
+
+/// Split off the first `k` nodes into `left`.
+void split_by_count(Node* n, std::size_t k, Node*& left, Node*& right) {
+  if (!n) {
+    left = right = nullptr;
+    return;
+  }
+  if (count_of(n->left) + 1 <= k) {
+    split_by_count(n->right, k - count_of(n->left) - 1, n->right, right);
+    left = n;
+    update(left);
+  } else {
+    split_by_count(n->left, k, left, n->left);
+    right = n;
+    update(right);
+  }
+}
+
+Node* merge(Node* a, Node* b) {
+  if (!a) return b;
+  if (!b) return a;
+  if (a->priority > b->priority) {
+    a->right = merge(a->right, b);
+    update(a);
+    return a;
+  }
+  b->left = merge(a, b->left);
+  update(b);
+  return b;
+}
+
+}  // namespace
+
+ByteStack::~ByteStack() { destroy(root_); }
+
+ByteStack::ByteStack(ByteStack&& o) noexcept
+    : root_(std::exchange(o.root_, nullptr)), rng_state_(o.rng_state_) {}
+
+ByteStack& ByteStack::operator=(ByteStack&& o) noexcept {
+  if (this != &o) {
+    destroy(root_);
+    root_ = std::exchange(o.root_, nullptr);
+    rng_state_ = o.rng_state_;
+  }
+  return *this;
+}
+
+void ByteStack::destroy(Node* n) noexcept {
+  if (!n) return;
+  destroy(n->left);
+  destroy(n->right);
+  delete n;
+}
+
+std::uint64_t ByteStack::next_priority() noexcept {
+  rng_state_ = util::splitmix64(rng_state_);
+  return rng_state_;
+}
+
+std::size_t ByteStack::size() const noexcept { return count_of(root_); }
+Bytes ByteStack::total_bytes() const noexcept { return bytes_of(root_); }
+
+void ByteStack::push_front(const StackItem& item) {
+  root_ = merge(new Node(item, next_priority()), root_);
+}
+
+void ByteStack::push_back(const StackItem& item) {
+  root_ = merge(root_, new Node(item, next_priority()));
+}
+
+StackItem ByteStack::pop_front() {
+  Node* first = nullptr;
+  Node* rest = nullptr;
+  split_by_count(root_, 1, first, rest);
+  const StackItem item = first->item;
+  delete first;
+  root_ = rest;
+  return item;
+}
+
+void ByteStack::insert_at_depth(Bytes depth_bytes, const StackItem& item) {
+  Node* left = nullptr;
+  Node* right = nullptr;
+  split_by_bytes(root_, depth_bytes, left, right);
+  root_ = merge(merge(left, new Node(item, next_priority())), right);
+}
+
+}  // namespace starcdn::trace

@@ -1,0 +1,67 @@
+// Byte-indexed ordered stack — the data structure behind SpaceGEN's
+// Algorithm 1.
+//
+// Algorithm 1 maintains, per location, an ordered list of objects. Each
+// iteration pops the top object and reinserts it at the first position
+// whose byte prefix sum reaches a sampled stack distance d. A vector would
+// make each insert O(n); we use an implicit treap with subtree byte sums so
+// pop-front and insert-at-byte-offset are O(log n) — this is what makes
+// multi-billion-request generation tractable in the paper's tool and
+// multi-million-request generation instant here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "trace/record.h"
+
+namespace starcdn::trace {
+
+/// Entry carried through the stack: the synthetic object's identity plus
+/// its popularity budget (total requests it must receive).
+struct StackItem {
+  ObjectId object = 0;
+  Bytes size = 0;
+  std::uint32_t popularity = 0;   // target request count at this location
+  std::uint32_t emitted = 0;      // requests emitted so far
+};
+
+class ByteStack {
+ public:
+  ByteStack() = default;
+  ~ByteStack();
+  ByteStack(ByteStack&&) noexcept;
+  ByteStack& operator=(ByteStack&&) noexcept;
+  ByteStack(const ByteStack&) = delete;
+  ByteStack& operator=(const ByteStack&) = delete;
+
+  [[nodiscard]] bool empty() const noexcept { return root_ == nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] Bytes total_bytes() const noexcept;
+
+  /// Push onto the top of the stack.
+  void push_front(const StackItem& item);
+  /// Append to the bottom of the stack.
+  void push_back(const StackItem& item);
+
+  /// Remove and return the top item; stack must be non-empty.
+  StackItem pop_front();
+
+  /// Insert such that the byte sum of items strictly above it is the
+  /// smallest value >= `depth_bytes` achievable (i.e. at the first position
+  /// where the prefix byte sum reaches the sampled stack distance). Depths
+  /// beyond the total insert at the bottom.
+  void insert_at_depth(Bytes depth_bytes, const StackItem& item);
+
+  /// Opaque treap node; public only so file-local helpers can name it.
+  struct Node;
+
+ private:
+  Node* root_ = nullptr;
+  std::uint64_t rng_state_ = 0x853c49e6748fea9bULL;
+
+  std::uint64_t next_priority() noexcept;
+  static void destroy(Node* n) noexcept;
+};
+
+}  // namespace starcdn::trace

@@ -1,0 +1,117 @@
+#include "trace/fd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "trace/stack_distance.h"
+#include "util/hash.h"
+
+namespace starcdn::trace {
+
+int FootprintDescriptor::pop_bin(std::uint32_t popularity) noexcept {
+  // log2 bins: 1, 2, 3-4, 5-8, ...
+  return popularity <= 1
+             ? 0
+             : 1 + static_cast<int>(std::log2(static_cast<double>(popularity - 1)));
+}
+
+int FootprintDescriptor::size_bin(Bytes size) noexcept {
+  // log2 bins anchored at 1 KiB.
+  const double kb = std::max(1.0, static_cast<double>(size) / 1024.0);
+  return static_cast<int>(std::log2(kb));
+}
+
+void FootprintDescriptor::add_distance(int pb, int sb, double d,
+                                       std::uint64_t& reservoir_seen) {
+  ++reservoir_seen;
+  const auto put = [&](Cell& cell) {
+    if (cell.distances.size() < kReservoir) {
+      cell.distances.push_back(d);
+    } else {
+      const auto slot =
+          util::splitmix64(reservoir_seen * 0x9e37u + cell.distances.size()) %
+          reservoir_seen;
+      if (slot < kReservoir) cell.distances[slot] = d;
+    }
+  };
+  put(cells_[{pb, sb}]);
+  put(pop_cells_[pb]);
+  put(global_);
+}
+
+FootprintDescriptor FootprintDescriptor::extract(const LocationTrace& trace) {
+  FootprintDescriptor fd;
+  if (trace.requests.empty()) return fd;
+
+  // Pass 1: per-object popularity (the pFD conditions d on it).
+  std::unordered_map<ObjectId, std::uint32_t> popularity;
+  for (const auto& r : trace.requests) ++popularity[r.object];
+
+  // Pass 2: byte stack distances and inter-arrival times.
+  StackDistanceTracker tracker;
+  std::unordered_map<ObjectId, double> last_ts;
+  double interarrival_sum = 0.0;
+  std::size_t interarrival_n = 0;
+  std::uint64_t reservoir_seen = 0;
+  for (const auto& r : trace.requests) {
+    const double d = tracker.access(r.object, r.size);
+    if (d != kInfiniteStackDistance) {
+      fd.add_distance(pop_bin(popularity[r.object]), size_bin(r.size), d,
+                      reservoir_seen);
+      fd.max_distance_ = std::max(fd.max_distance_, static_cast<Bytes>(d));
+      ++fd.total_reuses_;
+    }
+    if (const auto it = last_ts.find(r.object); it != last_ts.end()) {
+      interarrival_sum += r.timestamp_s - it->second;
+      ++interarrival_n;
+    }
+    last_ts[r.object] = r.timestamp_s;
+  }
+  if (interarrival_n > 0) {
+    fd.mean_interarrival_ = interarrival_sum / static_cast<double>(interarrival_n);
+  }
+  const double span = trace.requests.back().timestamp_s -
+                      trace.requests.front().timestamp_s;
+  fd.rate_ = span > 0.0
+                 ? static_cast<double>(trace.requests.size()) / span
+                 : static_cast<double>(trace.requests.size());
+  return fd;
+}
+
+FootprintDescriptor FootprintDescriptor::from_parts(
+    std::map<std::pair<int, int>, Cell> cells, std::map<int, Cell> pop_cells,
+    Cell global, double rate, Bytes max_distance, std::size_t reuses,
+    double mean_interarrival) {
+  FootprintDescriptor fd;
+  fd.cells_ = std::move(cells);
+  fd.pop_cells_ = std::move(pop_cells);
+  fd.global_ = std::move(global);
+  fd.rate_ = rate;
+  fd.max_distance_ = max_distance;
+  fd.total_reuses_ = reuses;
+  fd.mean_interarrival_ = mean_interarrival;
+  return fd;
+}
+
+Bytes FootprintDescriptor::sample_stack_distance(std::uint32_t popularity,
+                                                 Bytes size,
+                                                 util::Rng& rng) const {
+  const int pb = pop_bin(popularity);
+  const int sb = size_bin(size);
+  const Cell* cell = nullptr;
+  if (const auto it = cells_.find({pb, sb});
+      it != cells_.end() && !it->second.distances.empty()) {
+    cell = &it->second;
+  } else if (const auto pit = pop_cells_.find(pb);
+             pit != pop_cells_.end() && !pit->second.distances.empty()) {
+    cell = &pit->second;
+  } else if (!global_.distances.empty()) {
+    cell = &global_;
+  }
+  if (!cell) return 0;
+  const auto& d = cell->distances;
+  return static_cast<Bytes>(d[rng.below(d.size())]);
+}
+
+}  // namespace starcdn::trace

@@ -1,0 +1,88 @@
+// Popularity-Size Footprint Descriptors (pFD) — §4.1.
+//
+// A pFD models a single location's access pattern as the joint distribution
+// p(popularity, size, stack-distance, inter-arrival). We represent it the
+// way TRAGEN/JEDI-style tools do in practice: log-binned (popularity, size)
+// cells, each holding an empirical sample set of observed byte stack
+// distances (so sampling d from p(d | p, s) is a bootstrap draw), plus the
+// location's aggregate request rate for timestamp assignment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace starcdn::trace {
+
+class FootprintDescriptor {
+ public:
+  /// Extract a pFD from one location's production trace.
+  [[nodiscard]] static FootprintDescriptor extract(const LocationTrace& trace);
+
+  /// Sample a byte stack distance from p(d | popularity, size); falls back
+  /// to coarser conditioning (popularity only, then global) for cells the
+  /// production trace never populated.
+  [[nodiscard]] Bytes sample_stack_distance(std::uint32_t popularity,
+                                            Bytes size, util::Rng& rng) const;
+
+  /// Aggregate request rate (requests/second) of the source trace.
+  [[nodiscard]] double request_rate_per_s() const noexcept { return rate_; }
+
+  /// Largest finite byte stack distance observed; Algorithm 1 fills each
+  /// location's stack to at least this depth before generation starts.
+  [[nodiscard]] Bytes max_finite_stack_distance() const noexcept {
+    return max_distance_;
+  }
+
+  [[nodiscard]] std::size_t observed_reuses() const noexcept {
+    return total_reuses_;
+  }
+  [[nodiscard]] double mean_interarrival_s() const noexcept {
+    return mean_interarrival_;
+  }
+
+  // Binning shared with the tests.
+  [[nodiscard]] static int pop_bin(std::uint32_t popularity) noexcept;
+  [[nodiscard]] static int size_bin(Bytes size) noexcept;
+
+  struct Cell {
+    std::vector<double> distances;  // reservoir of observed d values
+  };
+
+  // --- Serialization access (model_io.h): the paper publishes its fitted
+  // traffic models for download; these accessors let the IO layer
+  // round-trip a descriptor without friending it into the format code.
+  [[nodiscard]] const std::map<std::pair<int, int>, Cell>& cells()
+      const noexcept {
+    return cells_;
+  }
+  [[nodiscard]] const std::map<int, Cell>& pop_cells() const noexcept {
+    return pop_cells_;
+  }
+  [[nodiscard]] const Cell& global_cell() const noexcept { return global_; }
+
+  /// Rebuild a descriptor from serialized state.
+  [[nodiscard]] static FootprintDescriptor from_parts(
+      std::map<std::pair<int, int>, Cell> cells, std::map<int, Cell> pop_cells,
+      Cell global, double rate, Bytes max_distance, std::size_t reuses,
+      double mean_interarrival);
+
+ private:
+
+  static constexpr std::size_t kReservoir = 512;
+
+  void add_distance(int pb, int sb, double d, std::uint64_t& reservoir_seen);
+
+  std::map<std::pair<int, int>, Cell> cells_;
+  std::map<int, Cell> pop_cells_;  // marginal over size
+  Cell global_;
+  double rate_ = 1.0;
+  Bytes max_distance_ = 0;
+  std::size_t total_reuses_ = 0;
+  double mean_interarrival_ = 0.0;
+};
+
+}  // namespace starcdn::trace

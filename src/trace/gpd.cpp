@@ -1,0 +1,35 @@
+#include "trace/gpd.h"
+
+#include <unordered_map>
+
+namespace starcdn::trace {
+
+GlobalPopularityDistribution GlobalPopularityDistribution::extract(
+    const MultiTrace& traces) {
+  GlobalPopularityDistribution gpd;
+  gpd.locations_ = traces.size();
+
+  struct Acc {
+    Bytes size = 0;
+    std::unordered_map<std::uint16_t, std::uint32_t> pops;
+  };
+  std::unordered_map<ObjectId, Acc> acc;
+  for (const auto& t : traces) {
+    for (const auto& r : t.requests) {
+      Acc& a = acc[r.object];
+      a.size = r.size;
+      ++a.pops[t.location];
+    }
+  }
+  gpd.tuples_.reserve(acc.size());
+  for (auto& [id, a] : acc) {
+    (void)id;
+    Tuple tup;
+    tup.size = a.size;
+    tup.popularity.assign(a.pops.begin(), a.pops.end());
+    gpd.tuples_.push_back(std::move(tup));
+  }
+  return gpd;
+}
+
+}  // namespace starcdn::trace

@@ -1,0 +1,70 @@
+// Global Popularity Distribution (GPD) — §4.1.
+//
+// The GPD is the joint distribution P(p_1, ..., p_n, s): for an object, its
+// popularity at each of the n locations together with its size. We keep the
+// empirical joint — one tuple per production object — and sample tuples by
+// bootstrap, which preserves all cross-location popularity correlations
+// (the property SpaceGEN exists to reproduce; TRAGEN/JEDI only model one
+// location at a time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace starcdn::trace {
+
+class GlobalPopularityDistribution {
+ public:
+  /// Sparse popularity vector: (location, request count) pairs, plus size.
+  struct Tuple {
+    Bytes size = 0;
+    std::vector<std::pair<std::uint16_t, std::uint32_t>> popularity;
+
+    [[nodiscard]] std::uint32_t popularity_at(std::uint16_t loc) const noexcept {
+      for (const auto& [l, p] : popularity) {
+        if (l == loc) return p;
+      }
+      return 0;
+    }
+    /// Number of locations with non-zero popularity (the "object spread"
+    /// statistic of Fig. 6a).
+    [[nodiscard]] std::size_t spread() const noexcept {
+      return popularity.size();
+    }
+  };
+
+  /// Extract from a multi-location production trace.
+  [[nodiscard]] static GlobalPopularityDistribution extract(
+      const MultiTrace& traces);
+
+  /// Rebuild from serialized tuples (model_io.h).
+  [[nodiscard]] static GlobalPopularityDistribution from_tuples(
+      std::vector<Tuple> tuples, std::size_t locations) {
+    GlobalPopularityDistribution gpd;
+    gpd.tuples_ = std::move(tuples);
+    gpd.locations_ = locations;
+    return gpd;
+  }
+
+  /// Bootstrap-sample one object tuple.
+  [[nodiscard]] const Tuple& sample(util::Rng& rng) const {
+    return tuples_[rng.below(tuples_.size())];
+  }
+
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return tuples_.size();
+  }
+  [[nodiscard]] std::size_t locations() const noexcept { return locations_; }
+  [[nodiscard]] const std::vector<Tuple>& tuples() const noexcept {
+    return tuples_;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+  std::size_t locations_ = 0;
+};
+
+}  // namespace starcdn::trace

@@ -1,0 +1,155 @@
+#include "trace/model_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace starcdn::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'C', 'D', 'N', 'M', 'D', 'L', '1'};
+
+template <typename T>
+void put(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("model load: truncated file");
+  return v;
+}
+
+void put_cell(std::ofstream& out, const FootprintDescriptor::Cell& cell) {
+  put(out, static_cast<std::uint32_t>(cell.distances.size()));
+  for (const double d : cell.distances) put(out, d);
+}
+
+FootprintDescriptor::Cell get_cell(std::ifstream& in) {
+  FootprintDescriptor::Cell cell;
+  const auto n = get<std::uint32_t>(in);
+  if (n > 1'000'000) throw std::runtime_error("model load: corrupt cell size");
+  cell.distances.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) cell.distances.push_back(get<double>(in));
+  return cell;
+}
+
+}  // namespace
+
+void save_models(const SpaceGen& generator, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_models: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+
+  const auto& names = generator.location_names();
+  const auto& pfds = generator.pfds();
+  put(out, static_cast<std::uint16_t>(pfds.size()));
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    const std::string name = i < names.size() ? names[i] : "";
+    put(out, static_cast<std::uint16_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+
+  // GPD tuples.
+  const auto& gpd = generator.gpd();
+  put(out, static_cast<std::uint64_t>(gpd.tuples().size()));
+  for (const auto& t : gpd.tuples()) {
+    put(out, static_cast<std::uint64_t>(t.size));
+    put(out, static_cast<std::uint16_t>(t.popularity.size()));
+    for (const auto& [loc, pop] : t.popularity) {
+      put(out, loc);
+      put(out, pop);
+    }
+  }
+
+  // pFDs.
+  for (const auto& fd : pfds) {
+    put(out, fd.request_rate_per_s());
+    put(out, static_cast<std::uint64_t>(fd.max_finite_stack_distance()));
+    put(out, static_cast<std::uint64_t>(fd.observed_reuses()));
+    put(out, fd.mean_interarrival_s());
+    put(out, static_cast<std::uint32_t>(fd.cells().size()));
+    for (const auto& [key, cell] : fd.cells()) {
+      put(out, static_cast<std::int32_t>(key.first));
+      put(out, static_cast<std::int32_t>(key.second));
+      put_cell(out, cell);
+    }
+    put(out, static_cast<std::uint32_t>(fd.pop_cells().size()));
+    for (const auto& [pb, cell] : fd.pop_cells()) {
+      put(out, static_cast<std::int32_t>(pb));
+      put_cell(out, cell);
+    }
+    put_cell(out, fd.global_cell());
+  }
+  if (!out) throw std::runtime_error("save_models: write failed " + path);
+}
+
+SpaceGen load_models(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_models: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("load_models: bad magic in " + path);
+  }
+
+  const auto n_loc = get<std::uint16_t>(in);
+  std::vector<std::string> names(n_loc);
+  for (auto& name : names) {
+    const auto len = get<std::uint16_t>(in);
+    name.resize(len);
+    in.read(name.data(), len);
+    if (!in) throw std::runtime_error("load_models: truncated name");
+  }
+
+  const auto tuple_count = get<std::uint64_t>(in);
+  std::vector<GlobalPopularityDistribution::Tuple> tuples;
+  tuples.reserve(tuple_count);
+  for (std::uint64_t i = 0; i < tuple_count; ++i) {
+    GlobalPopularityDistribution::Tuple t;
+    t.size = get<std::uint64_t>(in);
+    const auto entries = get<std::uint16_t>(in);
+    t.popularity.reserve(entries);
+    for (std::uint16_t k = 0; k < entries; ++k) {
+      const auto loc = get<std::uint16_t>(in);
+      const auto pop = get<std::uint32_t>(in);
+      t.popularity.emplace_back(loc, pop);
+    }
+    tuples.push_back(std::move(t));
+  }
+
+  std::vector<FootprintDescriptor> pfds;
+  pfds.reserve(n_loc);
+  for (std::uint16_t i = 0; i < n_loc; ++i) {
+    const auto rate = get<double>(in);
+    const auto max_distance = get<std::uint64_t>(in);
+    const auto reuses = get<std::uint64_t>(in);
+    const auto mean_interarrival = get<double>(in);
+    std::map<std::pair<int, int>, FootprintDescriptor::Cell> cells;
+    const auto cell_count = get<std::uint32_t>(in);
+    for (std::uint32_t c = 0; c < cell_count; ++c) {
+      const auto pb = get<std::int32_t>(in);
+      const auto sb = get<std::int32_t>(in);
+      cells.emplace(std::pair{pb, sb}, get_cell(in));
+    }
+    std::map<int, FootprintDescriptor::Cell> pop_cells;
+    const auto pop_count = get<std::uint32_t>(in);
+    for (std::uint32_t c = 0; c < pop_count; ++c) {
+      const auto pb = get<std::int32_t>(in);
+      pop_cells.emplace(pb, get_cell(in));
+    }
+    auto global = get_cell(in);
+    pfds.push_back(FootprintDescriptor::from_parts(
+        std::move(cells), std::move(pop_cells), std::move(global), rate,
+        max_distance, reuses, mean_interarrival));
+  }
+
+  return SpaceGen(GlobalPopularityDistribution::from_tuples(std::move(tuples),
+                                                            n_loc),
+                  std::move(pfds), std::move(names));
+}
+
+}  // namespace starcdn::trace

@@ -1,0 +1,36 @@
+// Traffic-model persistence: save and load fitted SpaceGEN models.
+//
+// The paper publishes its Akamai-derived traffic models (GPD + per-location
+// pFDs) for public download so others can generate traces without the raw
+// logs (§4.1). This module provides the equivalent artifact path: fit once,
+// `save_models`, ship the file, `load_models`, generate anywhere.
+//
+// Binary layout (little-endian):
+//   magic "SCDNMDL1"
+//   u16 location_count
+//   per location: u16 name_len, name bytes
+//   --- GPD ---
+//   u64 tuple_count
+//   per tuple: u64 size, u16 entries, entries x { u16 loc, u32 popularity }
+//   --- pFDs (location_count of them) ---
+//   f64 rate, u64 max_distance, u64 reuses, f64 mean_interarrival
+//   u32 cell_count,     cells x { i32 pb, i32 sb, u32 n, n x f64 }
+//   u32 pop_cell_count, cells x { i32 pb, u32 n, n x f64 }
+//   u32 global_n, global_n x f64
+#pragma once
+
+#include <string>
+
+#include "trace/spacegen.h"
+
+namespace starcdn::trace {
+
+/// Persist a fitted generator's models; throws std::runtime_error on IO
+/// failure.
+void save_models(const SpaceGen& generator, const std::string& path);
+
+/// Load models previously written by save_models; throws
+/// std::runtime_error on IO or format errors.
+[[nodiscard]] SpaceGen load_models(const std::string& path);
+
+}  // namespace starcdn::trace

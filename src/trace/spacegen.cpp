@@ -1,0 +1,143 @@
+#include "trace/spacegen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trace/bytestack.h"
+
+namespace starcdn::trace {
+
+SpaceGen::SpaceGen(GlobalPopularityDistribution gpd,
+                   std::vector<FootprintDescriptor> pfds,
+                   std::vector<std::string> location_names)
+    : gpd_(std::move(gpd)), pfds_(std::move(pfds)), names_(std::move(location_names)) {
+  if (pfds_.size() != gpd_.locations()) {
+    throw std::invalid_argument("SpaceGen: pFD count must match GPD locations");
+  }
+}
+
+SpaceGen SpaceGen::fit(const MultiTrace& production) {
+  std::vector<FootprintDescriptor> pfds;
+  std::vector<std::string> names;
+  pfds.reserve(production.size());
+  for (const auto& t : production) {
+    pfds.push_back(FootprintDescriptor::extract(t));
+    names.push_back(t.location_name);
+  }
+  return SpaceGen(GlobalPopularityDistribution::extract(production),
+                  std::move(pfds), std::move(names));
+}
+
+MultiTrace SpaceGen::generate(const SpaceGenConfig& config) const {
+  const std::size_t n_loc = pfds_.size();
+  util::Rng rng(config.seed);
+
+  // --- Phase 1: initialization (Algorithm 1 lines 3-15) -------------------
+  // Per-location stacks; objects drawn from the GPD enter the stack of
+  // every location where their sampled popularity is non-zero.
+  std::vector<ByteStack> stacks(n_loc);
+  ObjectId next_object = 1;
+
+  const auto sample_new_object = [&](std::size_t only_if_involves =
+                                         static_cast<std::size_t>(-1)) {
+    // Draw a GPD tuple, mint a fresh synthetic object id, and push it to
+    // the bottom of each involved location's stack (bottom: a brand-new
+    // object has not been accessed recently anywhere).
+    for (;;) {
+      const auto& tup = gpd_.sample(rng);
+      if (only_if_involves != static_cast<std::size_t>(-1)) {
+        if (tup.popularity_at(static_cast<std::uint16_t>(only_if_involves)) ==
+            0) {
+          continue;  // retry until the depleted location gains an object
+        }
+      }
+      const ObjectId id = next_object++;
+      for (const auto& [loc, pop] : tup.popularity) {
+        StackItem item;
+        item.object = id;
+        item.size = tup.size;
+        item.popularity = pop;
+        // Algorithm 1 line 11/25: new objects append to the stack bottom
+        // (a brand-new object has not been accessed recently anywhere).
+        stacks[loc].push_back(item);
+      }
+      return;
+    }
+  };
+
+  for (std::size_t i = 0; i < n_loc; ++i) {
+    const Bytes need = std::max<Bytes>(pfds_[i].max_finite_stack_distance(), 1);
+    // Guard against degenerate GPDs that never touch location i.
+    bool reachable = false;
+    for (const auto& t : gpd_.tuples()) {
+      if (t.popularity_at(static_cast<std::uint16_t>(i)) > 0) {
+        reachable = true;
+        break;
+      }
+    }
+    if (!reachable) continue;
+    while (stacks[i].total_bytes() < need) sample_new_object(i);
+  }
+
+  // --- Phase 2: generation (Algorithm 1 lines 16-35) ----------------------
+  MultiTrace out(n_loc);
+  double max_rate = 0.0;
+  for (const auto& fd : pfds_) max_rate = std::max(max_rate, fd.request_rate_per_s());
+  if (max_rate <= 0.0) max_rate = 1.0;
+
+  std::vector<double> req_rate(n_loc), counter(n_loc, 0.0);
+  std::vector<double> last_ts(n_loc, -1.0);
+  std::vector<std::size_t> target(n_loc);
+  for (std::size_t i = 0; i < n_loc; ++i) {
+    req_rate[i] = pfds_[i].request_rate_per_s() * config.tick_s;
+    target[i] = static_cast<std::size_t>(
+        static_cast<double>(config.target_requests_per_location) *
+        pfds_[i].request_rate_per_s() / max_rate);
+    out[i].location = static_cast<std::uint16_t>(i);
+    out[i].location_name = i < names_.size() ? names_[i] : "loc" + std::to_string(i);
+    out[i].requests.reserve(target[i]);
+  }
+
+  const auto done = [&] {
+    for (std::size_t i = 0; i < n_loc; ++i) {
+      if (out[i].requests.size() < target[i]) return false;
+    }
+    return true;
+  };
+
+  for (std::uint64_t tick = 0; !done(); ++tick) {
+    for (std::size_t i = 0; i < n_loc; ++i) {
+      counter[i] += req_rate[i];
+      while (counter[i] >= 1.0 && out[i].requests.size() < target[i]) {
+        counter[i] -= 1.0;
+        if (stacks[i].empty()) sample_new_object(i);
+        StackItem item = stacks[i].pop_front();
+
+        Request r;
+        r.object = item.object;
+        r.size = item.size;
+        r.location = static_cast<std::uint16_t>(i);
+        // Jittered within the tick but clamped monotone per location.
+        r.timestamp_s = std::max(
+            (static_cast<double>(tick) + rng.uniform()) * config.tick_s,
+            last_ts[i] + 1e-6);
+        last_ts[i] = r.timestamp_s;
+        out[i].requests.push_back(r);
+
+        ++item.emitted;
+        if (item.emitted >= item.popularity) {
+          // Popularity budget exhausted at this location: the object
+          // retires and a fresh one enters the system (line 25).
+          sample_new_object(i);
+        } else {
+          const Bytes d = pfds_[i].sample_stack_distance(item.popularity,
+                                                         item.size, rng);
+          stacks[i].insert_at_depth(d, item);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace starcdn::trace

@@ -1,0 +1,58 @@
+// SpaceGEN: correlated multi-location synthetic trace generation
+// (Algorithm 1 of the paper, §4.2).
+//
+// Inputs: one pFD per location plus the cross-location GPD, both extracted
+// from (limited) production traces. Output: arbitrarily long synthetic
+// traces, one per location, that reproduce the production traces' object
+// spread, traffic spread, and hit-rate curves (§4.3 / Fig. 6) — the
+// properties satellite-based CDN simulation depends on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/fd.h"
+#include "trace/gpd.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace starcdn::trace {
+
+struct SpaceGenConfig {
+  /// Stop once every location has emitted at least this many requests
+  /// scaled by its relative request rate (rate_i / max_rate).
+  std::size_t target_requests_per_location = 100'000;
+  /// Seconds of synthetic time represented by one generation iteration.
+  double tick_s = 1.0;
+  std::uint64_t seed = 7;
+};
+
+class SpaceGen {
+ public:
+  SpaceGen(GlobalPopularityDistribution gpd,
+           std::vector<FootprintDescriptor> pfds,
+           std::vector<std::string> location_names = {});
+
+  /// Convenience: extract both traffic models from a production trace.
+  [[nodiscard]] static SpaceGen fit(const MultiTrace& production);
+
+  /// Run Algorithm 1.
+  [[nodiscard]] MultiTrace generate(const SpaceGenConfig& config) const;
+
+  [[nodiscard]] const GlobalPopularityDistribution& gpd() const noexcept {
+    return gpd_;
+  }
+  [[nodiscard]] const std::vector<FootprintDescriptor>& pfds() const noexcept {
+    return pfds_;
+  }
+  [[nodiscard]] const std::vector<std::string>& location_names() const noexcept {
+    return names_;
+  }
+
+ private:
+  GlobalPopularityDistribution gpd_;
+  std::vector<FootprintDescriptor> pfds_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace starcdn::trace

@@ -1,0 +1,66 @@
+#include "trace/stack_distance.h"
+
+#include <algorithm>
+
+namespace starcdn::trace {
+
+void StackDistanceTracker::fenwick_add(std::size_t pos, double delta) {
+  for (; pos < tree_.size(); pos += pos & (~pos + 1)) tree_[pos] += delta;
+}
+
+double StackDistanceTracker::fenwick_prefix(std::size_t pos) const {
+  double s = 0.0;
+  for (; pos > 0; pos -= pos & (~pos + 1)) s += tree_[pos];
+  return s;
+}
+
+void StackDistanceTracker::rebuild(std::size_t capacity) {
+  // A Fenwick array cannot simply grow: the new high-index nodes must
+  // incorporate existing contributions. Rebuild from the live objects
+  // (dead positions carry no weight). Amortized O(1) per access since the
+  // capacity at least doubles each time.
+  tree_.assign(std::max<std::size_t>(capacity, 2), 0.0);
+  for (const auto& [id, st] : last_pos_) {
+    (void)id;
+    fenwick_add(st.pos, static_cast<double>(st.size));
+  }
+}
+
+void StackDistanceTracker::maybe_compact() {
+  // Positions grow monotonically; when the index space is mostly dead
+  // weight, renumber live objects by recency order and rebuild densely.
+  if (next_pos_ < (1u << 20) || last_pos_.size() * 4 > next_pos_) return;
+  std::vector<std::pair<std::size_t, ObjectId>> order;
+  order.reserve(last_pos_.size());
+  for (const auto& [id, st] : last_pos_) order.emplace_back(st.pos, id);
+  std::sort(order.begin(), order.end());
+  next_pos_ = 1;
+  for (const auto& [old_pos, id] : order) {
+    (void)old_pos;
+    last_pos_[id].pos = next_pos_++;
+  }
+  rebuild(next_pos_ + 1);
+}
+
+double StackDistanceTracker::access(ObjectId id, Bytes size) {
+  const auto it = last_pos_.find(id);
+  double dist = kInfiniteStackDistance;
+  if (it != last_pos_.end()) {
+    // Unique bytes after the previous access = total - prefix(last pos).
+    dist = total_resident_bytes_ - fenwick_prefix(it->second.pos);
+    fenwick_add(it->second.pos, -static_cast<double>(it->second.size));
+    total_resident_bytes_ -= static_cast<double>(it->second.size);
+  }
+  const std::size_t pos = next_pos_++;
+  last_pos_[id] = {pos, size};
+  total_resident_bytes_ += static_cast<double>(size);
+  if (pos >= tree_.size()) {
+    rebuild(tree_.size() * 2 + pos + 1);
+  } else {
+    fenwick_add(pos, static_cast<double>(size));
+  }
+  maybe_compact();
+  return dist;
+}
+
+}  // namespace starcdn::trace

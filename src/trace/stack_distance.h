@@ -1,0 +1,51 @@
+// Byte-weighted stack (reuse) distance computation.
+//
+// The pFD's `d` dimension is the number of *unique bytes* requested between
+// consecutive accesses of an object (§4.1). Computing it naively is O(N^2);
+// we use the classic Fenwick-tree formulation of Mattson's stack algorithm:
+// each resident object contributes its size at its last-access position, and
+// the stack distance of a re-access equals the suffix sum of contributions
+// after the previous access.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace starcdn::trace {
+
+/// Sentinel distance for first-ever (cold) accesses.
+inline constexpr double kInfiniteStackDistance =
+    std::numeric_limits<double>::infinity();
+
+class StackDistanceTracker {
+ public:
+  /// Process the next access; returns the byte stack distance since this
+  /// object's previous access, or kInfiniteStackDistance on a cold access.
+  double access(ObjectId id, Bytes size);
+
+  [[nodiscard]] std::size_t unique_objects() const noexcept {
+    return last_pos_.size();
+  }
+
+ private:
+  void fenwick_add(std::size_t pos, double delta);
+  [[nodiscard]] double fenwick_prefix(std::size_t pos) const;
+  void rebuild(std::size_t capacity);
+  void maybe_compact();
+
+  struct ObjState {
+    std::size_t pos;  // 1-based Fenwick position of last access
+    Bytes size;
+  };
+
+  std::vector<double> tree_ = {0.0};  // 1-based Fenwick array
+  std::size_t next_pos_ = 1;
+  double total_resident_bytes_ = 0.0;
+  std::unordered_map<ObjectId, ObjState> last_pos_;
+};
+
+}  // namespace starcdn::trace

@@ -1,0 +1,100 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace starcdn::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'C', 'D', 'N', 'T', 'R', 'C', '1'};
+
+template <typename T>
+void put(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("trace read: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void write_binary(const LocationTrace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_binary: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+  put(out, trace.location);
+  const auto name_len = static_cast<std::uint16_t>(trace.location_name.size());
+  put(out, name_len);
+  out.write(trace.location_name.data(), name_len);
+  put(out, static_cast<std::uint64_t>(trace.requests.size()));
+  for (const auto& r : trace.requests) {
+    put(out, r.timestamp_s);
+    put(out, r.object);
+    put(out, r.size);
+    put(out, r.location);
+  }
+  if (!out) throw std::runtime_error("write_binary: write failed " + path);
+}
+
+LocationTrace read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_binary: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("read_binary: bad magic in " + path);
+  }
+  LocationTrace t;
+  t.location = get<std::uint16_t>(in);
+  const auto name_len = get<std::uint16_t>(in);
+  t.location_name.resize(name_len);
+  in.read(t.location_name.data(), name_len);
+  const auto count = get<std::uint64_t>(in);
+  t.requests.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Request r;
+    r.timestamp_s = get<double>(in);
+    r.object = get<ObjectId>(in);
+    r.size = get<Bytes>(in);
+    r.location = get<std::uint16_t>(in);
+    t.requests.push_back(r);
+  }
+  return t;
+}
+
+void write_csv(const LocationTrace& trace, const std::string& path) {
+  util::CsvWriter w(path);
+  w.row({"timestamp_s", "object", "size", "location"});
+  for (const auto& r : trace.requests) {
+    w.row({std::to_string(r.timestamp_s), std::to_string(r.object),
+           std::to_string(r.size), std::to_string(r.location)});
+  }
+}
+
+LocationTrace read_csv_trace(const std::string& path) {
+  const auto rows = util::read_csv(path);
+  LocationTrace t;
+  for (std::size_t i = 1; i < rows.size(); ++i) {  // skip header
+    const auto& row = rows[i];
+    if (row.size() < 4) continue;
+    Request r;
+    r.timestamp_s = std::stod(row[0]);
+    r.object = std::stoull(row[1]);
+    r.size = std::stoull(row[2]);
+    r.location = static_cast<std::uint16_t>(std::stoul(row[3]));
+    t.requests.push_back(r);
+  }
+  if (!t.requests.empty()) t.location = t.requests.front().location;
+  return t;
+}
+
+}  // namespace starcdn::trace

@@ -1,0 +1,27 @@
+// Trace persistence: a compact binary format for generated traces plus CSV
+// export for interoperability with external cache simulators.
+//
+// Binary layout (little-endian):
+//   magic "SCDNTRC1" (8 bytes)
+//   u16 location    u16 name_len    bytes name
+//   u64 request_count
+//   request_count x { f64 timestamp_s, u64 object, u64 size, u16 location }
+#pragma once
+
+#include <string>
+
+#include "trace/record.h"
+
+namespace starcdn::trace {
+
+/// Write one location trace; throws std::runtime_error on IO failure.
+void write_binary(const LocationTrace& trace, const std::string& path);
+
+/// Read one location trace; throws std::runtime_error on IO/format errors.
+[[nodiscard]] LocationTrace read_binary(const std::string& path);
+
+/// CSV with header "timestamp_s,object,size,location".
+void write_csv(const LocationTrace& trace, const std::string& path);
+[[nodiscard]] LocationTrace read_csv_trace(const std::string& path);
+
+}  // namespace starcdn::trace

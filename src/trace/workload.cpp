@@ -1,0 +1,273 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace starcdn::trace {
+
+const char* to_string(TrafficClass c) noexcept {
+  switch (c) {
+    case TrafficClass::kVideo: return "video";
+    case TrafficClass::kWeb: return "web";
+    case TrafficClass::kDownload: return "download";
+  }
+  return "?";
+}
+
+std::vector<Request> merge_by_time(const MultiTrace& traces) {
+  std::vector<Request> all;
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.requests.size();
+  all.reserve(total);
+  for (const auto& t : traces) {
+    all.insert(all.end(), t.requests.begin(), t.requests.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.timestamp_s < b.timestamp_s;
+                   });
+  return all;
+}
+
+WorkloadParams default_params(TrafficClass c) {
+  WorkloadParams p;
+  p.traffic_class = c;
+  switch (c) {
+    case TrafficClass::kVideo:
+      // Video: multi-MB segments dominating bytes, heavy request volume,
+      // strong reuse (512 TB served from a 24 TB footprint, §3.1.1).
+      p.object_count = 300'000;
+      p.requests_per_weight = 150'000;
+      p.zipf_alpha = 1.2;
+      p.size_mu = 15.9;  // median ≈ 8 MB
+      p.size_sigma = 1.1;
+      break;
+    case TrafficClass::kWeb:
+      // Web: many small objects, flatter popularity, broader geographic
+      // reach of popular pages.
+      p.object_count = 400'000;
+      p.requests_per_weight = 50'000;
+      p.zipf_alpha = 1.0;
+      p.size_mu = 12.2;  // median ≈ 200 KB
+      p.size_sigma = 1.4;
+      p.global_fraction = 0.05;
+      p.same_language_family = 0.45;
+      p.cross_region = 0.35;
+      break;
+    case TrafficClass::kDownload:
+      // Downloads: fewer, large objects (software images), very wide reach
+      // (the same update ships worldwide), moderate request volume.
+      p.object_count = 60'000;
+      p.requests_per_weight = 12'000;
+      p.zipf_alpha = 0.95;
+      p.size_mu = 16.3;  // median ≈ 12 MB
+      p.size_sigma = 1.3;
+      p.global_fraction = 0.20;
+      p.same_language_family = 0.7;
+      p.cross_region = 0.6;
+      break;
+  }
+  return p;
+}
+
+double region_affinity(const std::string& a, const std::string& b,
+                       const WorkloadParams& params) {
+  if (a == b) return 1.0;
+  const auto family = [](const std::string& r) {
+    const auto dash = r.find('-');
+    return dash == std::string::npos ? r : r.substr(0, dash);
+  };
+  if (family(a) == family(b)) return params.same_language_family;
+  return params.cross_region;
+}
+
+namespace {
+
+/// Per-(object, region) crossing gate. Affinity acts as the *probability*
+/// that a piece of content is consumed in a foreign region at all, not as a
+/// popularity dampener: a German user either watches a British show or —
+/// far more often (Table 2) — never touches it. The gate is a deterministic
+/// hash so every city of the same region agrees.
+bool crosses_region(ObjectId id, const std::string& target_region,
+                    double gate_probability) {
+  if (gate_probability >= 1.0) return true;
+  const std::uint64_t h = util::hash_combine(util::splitmix64(id + 0x9e37),
+                                             util::fnv1a(target_region));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < gate_probability;
+}
+
+}  // namespace
+
+WorkloadModel::WorkloadModel(const std::vector<util::City>& cities,
+                             const WorkloadParams& params)
+    : cities_(&cities), params_(params) {
+  if (cities.empty()) throw std::invalid_argument("WorkloadModel: no cities");
+  build_universe();
+  build_city_tables();
+}
+
+void WorkloadModel::build_universe() {
+  const std::size_t n = params_.object_count;
+  sizes_.resize(n);
+  base_weight_.resize(n);
+  reach_km_.resize(n);
+  home_city_.resize(n);
+  global_.assign(n, false);
+
+  util::Rng rng(params_.seed);
+  // Home city sampled by traffic weight.
+  std::vector<double> city_w;
+  city_w.reserve(cities_->size());
+  for (const auto& c : *cities_) city_w.push_back(c.traffic_weight);
+  const DiscreteSampler home_sampler(city_w);
+  const ZipfSampler pop_rank(n, params_.zipf_alpha);
+
+  // Assign Zipf popularity by giving object i the weight of a random rank;
+  // shuffling ranks keeps object ids uncorrelated with popularity.
+  std::vector<std::size_t> ranks(n);
+  for (std::size_t i = 0; i < n; ++i) ranks[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(ranks[i - 1], ranks[rng.below(i)]);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    sizes_[i] = static_cast<Bytes>(
+        std::max(1.0, rng.lognormal(params_.size_mu, params_.size_sigma)));
+    const double w =
+        std::pow(static_cast<double>(ranks[i] + 1), -params_.zipf_alpha);
+    base_weight_[i] = static_cast<float>(w);
+    home_city_[i] = static_cast<std::uint16_t>(home_sampler.sample(rng));
+    global_[i] = rng.bernoulli(params_.global_fraction);
+    const double reach =
+        rng.pareto(params_.reach_min_km, params_.reach_shape) *
+        (1.0 + params_.reach_pop_boost *
+                   std::log1p(w * static_cast<double>(n)));
+    reach_km_[i] = static_cast<float>(std::min(reach, 40'000.0));
+  }
+}
+
+double WorkloadModel::weight(ObjectId id, std::size_t city) const {
+  const auto i = static_cast<std::size_t>(id);
+  const auto& cities = *cities_;
+  const double base = base_weight_[i];
+  if (global_[i]) return base;  // uniform worldwide popularity
+  const std::size_t home = home_city_[i];
+  if (home == city) return base;
+  const double gate =
+      region_affinity(cities[home].region, cities[city].region, params_);
+  if (!crosses_region(id, cities[city].region, gate)) return 0.0;
+  const double dist =
+      util::haversine_km(cities[home].coord, cities[city].coord);
+  return base * std::exp(-dist / static_cast<double>(reach_km_[i]));
+}
+
+void WorkloadModel::build_city_tables() {
+  city_tables_.resize(cities_->size());
+  // Weights below this fraction of the object's base weight are treated as
+  // out of reach; keeps tables compact and models "content not offered".
+  constexpr double kCutoff = 1e-3;
+  for (std::size_t c = 0; c < cities_->size(); ++c) {
+    CityTable& t = city_tables_[c];
+    for (std::size_t i = 0; i < sizes_.size(); ++i) {
+      const double w = weight(static_cast<ObjectId>(i), c);
+      if (w > kCutoff * base_weight_[i]) {
+        t.objects.push_back(static_cast<ObjectId>(i));
+        t.weights.push_back(w);
+      }
+    }
+    t.sampler = std::make_unique<DiscreteSampler>(t.weights);
+  }
+}
+
+std::vector<double> WorkloadModel::diurnal_minute_weights(
+    std::size_t city) const {
+  // Local solar time from longitude; demand peaks around 20:00 local.
+  const double lon = (*cities_)[city].coord.lon_deg;
+  const double tz_offset_h = lon / 15.0;
+  const std::size_t minutes = static_cast<std::size_t>(
+      std::max(1.0, params_.duration_s / util::kMinute));
+  std::vector<double> w(minutes);
+  for (std::size_t m = 0; m < minutes; ++m) {
+    const double t_utc_h = static_cast<double>(m) / 60.0;
+    const double local_h = std::fmod(t_utc_h + tz_offset_h + 48.0, 24.0);
+    w[m] = 1.0 + params_.diurnal_depth *
+                     std::sin(2.0 * std::numbers::pi * (local_h - 14.0) / 24.0);
+  }
+  return w;
+}
+
+LocationTrace WorkloadModel::generate_city(std::size_t city,
+                                           std::size_t n_requests,
+                                           std::uint64_t salt) const {
+  const CityTable& t = city_tables_[city];
+  util::Rng rng(util::hash_combine(params_.seed,
+                                   util::splitmix64(city * 7919 + salt + 1)));
+  const DiscreteSampler minute_sampler(diurnal_minute_weights(city));
+
+  LocationTrace out;
+  out.location = static_cast<std::uint16_t>(city);
+  out.location_name = (*cities_)[city].name;
+  out.requests.reserve(n_requests);
+  for (std::size_t k = 0; k < n_requests; ++k) {
+    const std::size_t idx = t.sampler->sample(rng);
+    const ObjectId obj = t.objects[idx];
+    Request r;
+    r.object = obj;
+    r.size = sizes_[static_cast<std::size_t>(obj)];
+    r.location = static_cast<std::uint16_t>(city);
+    const double minute = static_cast<double>(minute_sampler.sample(rng));
+    r.timestamp_s = std::min(params_.duration_s - 1e-3,
+                             (minute + rng.uniform()) * util::kMinute);
+    out.requests.push_back(r);
+  }
+  std::sort(out.requests.begin(), out.requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.timestamp_s < b.timestamp_s;
+            });
+  return out;
+}
+
+MultiTrace WorkloadModel::generate() const {
+  MultiTrace out;
+  out.reserve(cities_->size());
+  for (std::size_t c = 0; c < cities_->size(); ++c) {
+    const auto n = static_cast<std::size_t>(
+        static_cast<double>(params_.requests_per_weight) *
+        (*cities_)[c].traffic_weight);
+    out.push_back(generate_city(c, n));
+  }
+  return out;
+}
+
+OverlapResult overlap(const LocationTrace& a, const LocationTrace& b) {
+  std::unordered_set<ObjectId> in_b;
+  for (const auto& r : b.requests) in_b.insert(r.object);
+
+  std::unordered_set<ObjectId> seen_a;
+  std::size_t shared_objects = 0;
+  Bytes bytes_total = 0, bytes_shared = 0;
+  for (const auto& r : a.requests) {
+    bytes_total += r.size;
+    const bool shared = in_b.contains(r.object);
+    if (shared) bytes_shared += r.size;
+    if (seen_a.insert(r.object).second && shared) ++shared_objects;
+  }
+  OverlapResult res;
+  if (!seen_a.empty()) {
+    res.object_overlap = static_cast<double>(shared_objects) /
+                         static_cast<double>(seen_a.size());
+  }
+  if (bytes_total > 0) {
+    res.traffic_overlap =
+        static_cast<double>(bytes_shared) / static_cast<double>(bytes_total);
+  }
+  return res;
+}
+
+}  // namespace starcdn::trace

@@ -1,0 +1,76 @@
+#include "util/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/units.h"
+
+namespace starcdn::util {
+
+double deg2rad(double deg) noexcept { return deg * std::numbers::pi / 180.0; }
+double rad2deg(double rad) noexcept { return rad * 180.0 / std::numbers::pi; }
+
+double haversine_km(const GeoCoord& a, const GeoCoord& b) noexcept {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double wrap_lon_deg(double lon) noexcept {
+  while (lon >= 180.0) lon -= 360.0;
+  while (lon < -180.0) lon += 360.0;
+  return lon;
+}
+
+const std::vector<City>& paper_cities() {
+  // Weights approximate relative demand: US cities weighted higher, matching
+  // the paper's note that the US has the most Starlink users today.
+  static const std::vector<City> cities = {
+      {"MexicoCity", {19.43, -99.13}, 1.0, "es"},
+      {"Dallas", {32.78, -96.80}, 1.3, "en-us"},
+      {"Atlanta", {33.75, -84.39}, 1.2, "en-us"},
+      {"WashingtonDC", {38.91, -77.04}, 1.3, "en-us"},
+      {"NewYork", {40.71, -74.01}, 1.8, "en-us"},
+      {"London", {51.51, -0.13}, 1.5, "en-gb"},
+      {"Frankfurt", {50.11, 8.68}, 1.2, "de"},
+      {"Vienna", {48.21, 16.37}, 0.8, "de"},
+      {"Istanbul", {41.01, 28.98}, 1.1, "tr"},
+  };
+  return cities;
+}
+
+const std::vector<City>& global_cities() {
+  static const std::vector<City> cities = [] {
+    std::vector<City> c = paper_cities();
+    const std::vector<City> extra = {
+        {"LosAngeles", {34.05, -118.24}, 1.5, "en-us"},
+        {"Seattle", {47.61, -122.33}, 1.0, "en-us"},
+        {"Chicago", {41.88, -87.63}, 1.2, "en-us"},
+        {"Toronto", {43.65, -79.38}, 0.9, "en-us"},
+        {"SaoPaulo", {-23.55, -46.63}, 1.3, "pt"},
+        {"BuenosAires", {-34.60, -58.38}, 0.8, "es"},
+        {"Paris", {48.86, 2.35}, 1.2, "fr"},
+        {"Madrid", {40.42, -3.70}, 0.9, "es"},
+        {"Rome", {41.90, 12.50}, 0.8, "it"},
+        {"Warsaw", {52.23, 21.01}, 0.7, "pl"},
+        {"Lagos", {6.52, 3.38}, 0.8, "en-ng"},
+        {"Nairobi", {-1.29, 36.82}, 0.6, "en-ke"},
+        {"Dubai", {25.20, 55.27}, 0.7, "ar"},
+        {"Mumbai", {19.08, 72.88}, 1.2, "hi"},
+        {"Singapore", {1.35, 103.82}, 0.9, "en-sg"},
+        {"Tokyo", {35.68, 139.69}, 1.4, "ja"},
+        {"Sydney", {-33.87, 151.21}, 1.0, "en-au"},
+        {"Auckland", {-36.85, 174.76}, 0.5, "en-nz"},
+    };
+    c.insert(c.end(), extra.begin(), extra.end());
+    return c;
+  }();
+  return cities;
+}
+
+}  // namespace starcdn::util

@@ -1,0 +1,49 @@
+// Geodetic coordinates and great-circle math.
+//
+// Cities, ground stations and user terminals are specified as (lat, lon);
+// the orbital module converts them to ECEF for visibility computation, and
+// the workload model uses great-circle distances to drive the
+// distance-decaying content overlap (Fig. 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace starcdn::util {
+
+/// A point on the WGS-84-ish sphere (we use a spherical Earth; the paper's
+/// results are insensitive to oblateness at CDN-latency granularity).
+struct GeoCoord {
+  double lat_deg = 0.0;  // [-90, 90]
+  double lon_deg = 0.0;  // [-180, 180]
+};
+
+[[nodiscard]] double deg2rad(double deg) noexcept;
+[[nodiscard]] double rad2deg(double rad) noexcept;
+
+/// Great-circle distance in km (haversine formula).
+[[nodiscard]] double haversine_km(const GeoCoord& a, const GeoCoord& b) noexcept;
+
+/// Normalize longitude to [-180, 180).
+[[nodiscard]] double wrap_lon_deg(double lon) noexcept;
+
+/// A named city with population-derived traffic weight; the nine cities of
+/// the paper's Akamai trace collection plus extras for global coverage.
+struct City {
+  std::string name;
+  GeoCoord coord;
+  double traffic_weight = 1.0;  // relative request volume
+  /// Coarse language/content-region tag driving cross-city object overlap
+  /// (Table 2: Britain/Germany/Turkey share little content).
+  std::string region;
+};
+
+/// The paper's nine trace-collection cities (§3.1.1) with approximate
+/// coordinates and relative demand weights.
+[[nodiscard]] const std::vector<City>& paper_cities();
+
+/// A wider 24-city set for global simulations (paper cities + major Starlink
+/// markets), used when a satellite must see traffic on most of its orbit.
+[[nodiscard]] const std::vector<City>& global_cities();
+
+}  // namespace starcdn::util

@@ -1,0 +1,42 @@
+// Deterministic, seedable hash primitives used across StarCDN.
+//
+// CDN-style consistent hashing needs hashes that are (a) stable across runs
+// and platforms — std::hash gives no such guarantee — and (b) well mixed so
+// that bucket assignment (object id mod L after mixing) is uniform. We use
+// splitmix64 as the canonical 64-bit mixer and FNV-1a for byte strings.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace starcdn::util {
+
+/// Finalizing mixer from the splitmix64 generator (Vigna). Bijective on
+/// uint64, excellent avalanche behaviour; the standard choice for hashing
+/// already-numeric ids.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte string. Stable across platforms, good enough for
+/// object-key hashing; pass the result through splitmix64 when low bits are
+/// used directly (e.g. `% buckets`).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combine two hashes (boost::hash_combine style, 64-bit variant).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return a ^ (splitmix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace starcdn::util

@@ -1,0 +1,61 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace starcdn::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: require hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x, double weight) {
+  const double pos = (x - lo_) / (hi_ - lo_) * static_cast<double>(bins());
+  const auto idx = static_cast<std::ptrdiff_t>(std::floor(pos));
+  const std::size_t clamped = static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(idx, 0,
+                                 static_cast<std::ptrdiff_t>(bins()) - 1));
+  counts_[clamped] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(bins());
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept { return bin_lo(i + 1); }
+
+std::vector<double> Histogram::pmf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ <= 0.0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = counts_[i] / total_;
+  return out;
+}
+
+std::vector<double> Histogram::cdf() const {
+  std::vector<double> out = pmf();
+  double acc = 0.0;
+  for (auto& v : out) {
+    acc += v;
+    v = acc;
+  }
+  return out;
+}
+
+double Histogram::tv_distance(const Histogram& other) const {
+  if (other.bins() != bins()) {
+    throw std::invalid_argument("tv_distance: histogram binning mismatch");
+  }
+  const auto a = pmf();
+  const auto b = other.pmf();
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d / 2.0;
+}
+
+}  // namespace starcdn::util

@@ -1,0 +1,40 @@
+// Fixed-bin histogram used for spread distributions (Fig. 6a/6b) and
+// latency buckets.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace starcdn::util {
+
+/// Linear-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  [[nodiscard]] double count(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Probability mass per bin (sums to 1 when total > 0).
+  [[nodiscard]] std::vector<double> pmf() const;
+  /// Cumulative distribution at the upper edge of each bin.
+  [[nodiscard]] std::vector<double> cdf() const;
+
+  /// Total-variation distance to another histogram with identical binning;
+  /// 0 = identical, 1 = disjoint. Used by trace fidelity tests.
+  [[nodiscard]] double tv_distance(const Histogram& other) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace starcdn::util

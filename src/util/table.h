@@ -1,0 +1,36 @@
+// Console table printer: every bench binary prints its regenerated paper
+// table/figure as an aligned text table plus a CSV dump.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace starcdn::util {
+
+/// Accumulates rows of string cells and pretty-prints with column alignment.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a title banner, column separators and a header rule.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Also dump rows (header first) to a CSV file; ignores IO errors so a
+  /// read-only working dir never fails a bench.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace starcdn::util

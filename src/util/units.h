@@ -1,0 +1,46 @@
+// Strong-ish unit helpers and physical constants shared by the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace starcdn::util {
+
+// --- Data sizes -------------------------------------------------------------
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024ULL;
+inline constexpr Bytes kMiB = 1024ULL * kKiB;
+inline constexpr Bytes kGiB = 1024ULL * kMiB;
+inline constexpr Bytes kTiB = 1024ULL * kGiB;
+
+[[nodiscard]] constexpr Bytes gib(double n) noexcept {
+  return static_cast<Bytes>(n * static_cast<double>(kGiB));
+}
+[[nodiscard]] constexpr Bytes mib(double n) noexcept {
+  return static_cast<Bytes>(n * static_cast<double>(kMiB));
+}
+
+// --- Time -------------------------------------------------------------------
+// Simulation time is kept as double seconds since epoch start; latencies are
+// in milliseconds to match the paper's tables.
+using Seconds = double;
+using Millis = double;
+
+inline constexpr Seconds kMinute = 60.0;
+inline constexpr Seconds kHour = 3600.0;
+inline constexpr Seconds kDay = 86400.0;
+
+// --- Physical constants -----------------------------------------------------
+inline constexpr double kSpeedOfLightKmPerS = 299792.458;
+inline constexpr double kEarthRadiusKm = 6371.0;
+inline constexpr double kEarthMuKm3PerS2 = 398600.4418;  // gravitational param
+inline constexpr double kEarthSiderealDayS = 86164.0905;
+inline constexpr double kEarthRotationRadPerS =
+    6.283185307179586 / kEarthSiderealDayS;
+
+/// One-way propagation delay over a straight-line distance, in milliseconds.
+[[nodiscard]] constexpr Millis propagation_delay_ms(double distance_km) noexcept {
+  return distance_km / kSpeedOfLightKmPerS * 1000.0;
+}
+
+}  // namespace starcdn::util

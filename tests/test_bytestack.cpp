@@ -1,0 +1,134 @@
+#include "trace/bytestack.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "util/rng.h"
+
+namespace starcdn::trace {
+namespace {
+
+StackItem item(ObjectId id, Bytes size) {
+  StackItem it;
+  it.object = id;
+  it.size = size;
+  it.popularity = 1;
+  return it;
+}
+
+TEST(ByteStack, PushPopFifoOrder) {
+  ByteStack s;
+  EXPECT_TRUE(s.empty());
+  s.push_back(item(1, 10));
+  s.push_back(item(2, 20));
+  s.push_front(item(0, 5));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.total_bytes(), 35u);
+  EXPECT_EQ(s.pop_front().object, 0u);
+  EXPECT_EQ(s.pop_front().object, 1u);
+  EXPECT_EQ(s.pop_front().object, 2u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total_bytes(), 0u);
+}
+
+TEST(ByteStack, InsertAtDepthZeroIsFront) {
+  ByteStack s;
+  s.push_back(item(1, 10));
+  s.insert_at_depth(0, item(2, 5));
+  EXPECT_EQ(s.pop_front().object, 2u);
+}
+
+TEST(ByteStack, InsertBeyondTotalIsBack) {
+  ByteStack s;
+  s.push_back(item(1, 10));
+  s.push_back(item(2, 10));
+  s.insert_at_depth(10'000, item(3, 5));
+  s.pop_front();
+  s.pop_front();
+  EXPECT_EQ(s.pop_front().object, 3u);
+}
+
+TEST(ByteStack, InsertAtExactBoundary) {
+  ByteStack s;
+  s.push_back(item(1, 10));
+  s.push_back(item(2, 10));
+  // depth 10: exactly after object 1.
+  s.insert_at_depth(10, item(3, 5));
+  EXPECT_EQ(s.pop_front().object, 1u);
+  EXPECT_EQ(s.pop_front().object, 3u);
+  EXPECT_EQ(s.pop_front().object, 2u);
+}
+
+TEST(ByteStack, MoveSemantics) {
+  ByteStack a;
+  a.push_back(item(1, 10));
+  ByteStack b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  ByteStack c;
+  c = std::move(b);
+  EXPECT_EQ(c.pop_front().object, 1u);
+}
+
+/// Reference model: std::deque with linear insertion.
+class NaiveStack {
+ public:
+  void push_front(const StackItem& it) { d_.push_front(it); }
+  void push_back(const StackItem& it) { d_.push_back(it); }
+  StackItem pop_front() {
+    StackItem it = d_.front();
+    d_.pop_front();
+    return it;
+  }
+  void insert_at_depth(Bytes depth, const StackItem& it) {
+    Bytes acc = 0;
+    auto pos = d_.begin();
+    while (pos != d_.end() && acc < depth) {
+      acc += pos->size;
+      ++pos;
+    }
+    d_.insert(pos, it);
+  }
+  std::size_t size() const { return d_.size(); }
+  Bytes total() const {
+    Bytes b = 0;
+    for (const auto& it : d_) b += it.size;
+    return b;
+  }
+
+ private:
+  std::deque<StackItem> d_;
+};
+
+TEST(ByteStack, MatchesNaiveModelUnderRandomOps) {
+  ByteStack fast;
+  NaiveStack naive;
+  util::Rng rng(33);
+  ObjectId next = 0;
+  for (int step = 0; step < 20'000; ++step) {
+    const int op = static_cast<int>(rng.below(4));
+    if (op == 0 || fast.empty()) {
+      const StackItem it = item(next++, 1 + rng.below(50));
+      fast.push_back(it);
+      naive.push_back(it);
+    } else if (op == 1) {
+      const StackItem a = fast.pop_front();
+      const StackItem b = naive.pop_front();
+      ASSERT_EQ(a.object, b.object) << "step " << step;
+    } else {
+      const Bytes depth = rng.below(fast.total_bytes() + 100);
+      const StackItem it = item(next++, 1 + rng.below(50));
+      fast.insert_at_depth(depth, it);
+      naive.insert_at_depth(depth, it);
+    }
+    ASSERT_EQ(fast.size(), naive.size());
+    ASSERT_EQ(fast.total_bytes(), naive.total());
+  }
+  // Drain and compare complete order.
+  while (!fast.empty()) {
+    ASSERT_EQ(fast.pop_front().object, naive.pop_front().object);
+  }
+}
+
+}  // namespace
+}  // namespace starcdn::trace

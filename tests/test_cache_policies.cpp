@@ -1,0 +1,317 @@
+// Parameterized behaviour + invariant tests shared by all eviction policies,
+// plus policy-specific semantics for LRU, LFU, SIEVE and SLRU.
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "cache/gdsf.h"
+#include "cache/lfu.h"
+#include "cache/lru.h"
+#include "cache/sieve.h"
+#include "cache/slru.h"
+#include "util/rng.h"
+
+namespace starcdn::cache {
+namespace {
+
+class PolicyTest : public ::testing::TestWithParam<Policy> {
+ protected:
+  std::unique_ptr<Cache> make(Bytes capacity) const {
+    return make_cache(GetParam(), capacity);
+  }
+};
+
+TEST_P(PolicyTest, FactoryReportsPolicy) {
+  EXPECT_EQ(make(100)->policy(), GetParam());
+}
+
+TEST_P(PolicyTest, MissThenHit) {
+  auto c = make(100);
+  EXPECT_EQ(c->access(1, 10), AccessResult::kMissInserted);
+  EXPECT_EQ(c->access(1, 10), AccessResult::kHit);
+  EXPECT_EQ(c->stats().requests, 2u);
+  EXPECT_EQ(c->stats().hits, 1u);
+  EXPECT_EQ(c->stats().bytes_requested, 20u);
+  EXPECT_EQ(c->stats().bytes_hit, 10u);
+}
+
+TEST_P(PolicyTest, PeekHasNoSideEffects) {
+  auto c = make(100);
+  c->admit(1, 10);
+  const auto before_count = c->object_count();
+  EXPECT_TRUE(c->peek(1));
+  EXPECT_FALSE(c->peek(2));
+  EXPECT_EQ(c->object_count(), before_count);
+  EXPECT_EQ(c->stats().requests, 0u);  // peek must not count as a request
+}
+
+TEST_P(PolicyTest, CapacityNeverExceeded) {
+  auto c = make(1'000);
+  util::Rng rng(11);
+  for (int i = 0; i < 5'000; ++i) {
+    const ObjectId id = rng.below(500);
+    const Bytes size = 1 + rng.below(300);
+    c->access(id, size);
+    ASSERT_LE(c->used_bytes(), c->capacity())
+        << to_string(GetParam()) << " overflowed at step " << i;
+  }
+  EXPECT_GT(c->stats().evictions, 0u);
+}
+
+TEST_P(PolicyTest, HitPlusMissEqualsRequests) {
+  auto c = make(2'000);
+  util::Rng rng(12);
+  std::uint64_t hits = 0, misses = 0;
+  for (int i = 0; i < 3'000; ++i) {
+    const auto r = c->access(rng.below(200), 1 + rng.below(100));
+    (r == AccessResult::kHit ? hits : misses) += 1;
+  }
+  EXPECT_EQ(hits + misses, 3'000u);
+  EXPECT_EQ(c->stats().hits, hits);
+  EXPECT_EQ(c->stats().requests, 3'000u);
+}
+
+TEST_P(PolicyTest, ObjectLargerThanCapacityNeverAdmitted) {
+  auto c = make(100);
+  EXPECT_EQ(c->access(1, 500), AccessResult::kMissTooLarge);
+  EXPECT_FALSE(c->peek(1));
+  EXPECT_EQ(c->used_bytes(), 0u);
+  // And it must not have evicted residents to try.
+  c->admit(2, 50);
+  c->admit(3, 1'000);
+  EXPECT_TRUE(c->peek(2));
+  EXPECT_FALSE(c->peek(3));
+}
+
+TEST_P(PolicyTest, EraseRemoves) {
+  auto c = make(100);
+  c->admit(1, 10);
+  c->admit(2, 20);
+  c->erase(1);
+  EXPECT_FALSE(c->peek(1));
+  EXPECT_TRUE(c->peek(2));
+  EXPECT_EQ(c->used_bytes(), 20u);
+  EXPECT_EQ(c->object_count(), 1u);
+  c->erase(99);  // erasing a non-resident is a no-op
+  EXPECT_EQ(c->object_count(), 1u);
+}
+
+TEST_P(PolicyTest, ClearEmptiesEverything) {
+  auto c = make(100);
+  for (ObjectId i = 0; i < 5; ++i) c->admit(i, 10);
+  c->clear();
+  EXPECT_EQ(c->used_bytes(), 0u);
+  EXPECT_EQ(c->object_count(), 0u);
+  for (ObjectId i = 0; i < 5; ++i) EXPECT_FALSE(c->peek(i));
+  // The cache must remain usable after clear.
+  EXPECT_EQ(c->access(7, 10), AccessResult::kMissInserted);
+  EXPECT_EQ(c->access(7, 10), AccessResult::kHit);
+}
+
+TEST_P(PolicyTest, ReAdmitIsIdempotent) {
+  auto c = make(100);
+  c->admit(1, 10);
+  c->admit(1, 10);
+  EXPECT_EQ(c->object_count(), 1u);
+  EXPECT_EQ(c->used_bytes(), 10u);
+}
+
+TEST_P(PolicyTest, EvictionMakesRoomForLargeObject) {
+  auto c = make(100);
+  for (ObjectId i = 0; i < 10; ++i) c->admit(i, 10);
+  EXPECT_EQ(c->used_bytes(), 100u);
+  c->admit(100, 95);  // must evict nearly everything
+  EXPECT_TRUE(c->peek(100));
+  EXPECT_LE(c->used_bytes(), 100u);
+}
+
+TEST_P(PolicyTest, CountObjectBookkeeping) {
+  auto c = make(1'000);
+  util::Rng rng(13);
+  for (int i = 0; i < 2'000; ++i) {
+    c->access(rng.below(100), 1 + rng.below(50));
+    // Recount by peeking all possible ids: used bytes must equal the sum of
+    // resident sizes — detected via count monotonicity here; exact byte
+    // audit happens in the policy-specific tests.
+    ASSERT_LE(c->object_count(), 100u);
+  }
+}
+
+TEST_P(PolicyTest, ZeroByteObjectsSupported) {
+  auto c = make(100);
+  EXPECT_EQ(c->access(1, 0), AccessResult::kMissInserted);
+  EXPECT_EQ(c->access(1, 0), AccessResult::kHit);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::Values(Policy::kLru, Policy::kLfu,
+                                           Policy::kFifo, Policy::kSieve,
+                                           Policy::kSlru, Policy::kGdsf),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// --- Policy-specific semantics ------------------------------------------------
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache c(30);
+  c.admit(1, 10);
+  c.admit(2, 10);
+  c.admit(3, 10);
+  EXPECT_TRUE(c.touch(1));  // 2 is now the LRU victim
+  c.admit(4, 10);
+  EXPECT_FALSE(c.peek(2));
+  EXPECT_TRUE(c.peek(1));
+  EXPECT_TRUE(c.peek(3));
+  EXPECT_TRUE(c.peek(4));
+}
+
+TEST(Lru, VictimOrderTracksTouches) {
+  LruCache c(100);
+  c.admit(1, 10);
+  c.admit(2, 10);
+  EXPECT_EQ(c.lru_victim(), 1u);
+  c.touch(1);
+  EXPECT_EQ(c.lru_victim(), 2u);
+}
+
+TEST(Lfu, EvictsLeastFrequent) {
+  LfuCache c(30);
+  c.admit(1, 10);
+  c.admit(2, 10);
+  c.admit(3, 10);
+  c.touch(1);
+  c.touch(1);
+  c.touch(3);
+  c.admit(4, 10);  // 2 has the lowest frequency
+  EXPECT_FALSE(c.peek(2));
+  EXPECT_TRUE(c.peek(1));
+  EXPECT_TRUE(c.peek(3));
+}
+
+TEST(Lfu, FrequencyCounting) {
+  LfuCache c(100);
+  c.admit(1, 10);
+  EXPECT_EQ(c.frequency(1), 1u);
+  c.touch(1);
+  c.touch(1);
+  EXPECT_EQ(c.frequency(1), 3u);
+  EXPECT_EQ(c.frequency(999), 0u);
+}
+
+TEST(Lfu, TieBrokenByRecencyWithinFrequency) {
+  LfuCache c(30);
+  c.admit(1, 10);
+  c.admit(2, 10);
+  c.admit(3, 10);  // all at frequency 1; LRU within the bucket is 1
+  c.admit(4, 10);
+  EXPECT_FALSE(c.peek(1));
+}
+
+TEST(Sieve, HitsDoNotReorder) {
+  // SIEVE: a hit only marks the visited bit; eviction skips visited entries
+  // once, clearing them.
+  SieveCache c(30);
+  c.admit(1, 10);
+  c.admit(2, 10);
+  c.admit(3, 10);
+  c.touch(1);      // 1 is visited (it is the tail)
+  c.admit(4, 10);  // hand clears 1's bit, evicts 2 (first unvisited)
+  EXPECT_TRUE(c.peek(1));
+  EXPECT_FALSE(c.peek(2));
+  EXPECT_TRUE(c.peek(3));
+  EXPECT_TRUE(c.peek(4));
+}
+
+TEST(Sieve, SweepsWholeListWhenAllVisited) {
+  SieveCache c(30);
+  c.admit(1, 10);
+  c.admit(2, 10);
+  c.admit(3, 10);
+  c.touch(1);
+  c.touch(2);
+  c.touch(3);
+  c.admit(4, 10);  // hand clears all bits then evicts the tail (1)
+  EXPECT_FALSE(c.peek(1));
+  EXPECT_EQ(c.object_count(), 3u);
+}
+
+TEST(Sieve, EraseNextToHandIsSafe) {
+  SieveCache c(40);
+  c.admit(1, 10);
+  c.admit(2, 10);
+  c.admit(3, 10);
+  c.admit(4, 10);
+  c.touch(1);
+  c.admit(5, 10);  // moves hand off the tail
+  c.erase(1);      // erase where the hand may sit
+  c.admit(6, 10);
+  c.admit(7, 10);  // keep evicting; must not crash or corrupt
+  EXPECT_LE(c.used_bytes(), c.capacity());
+}
+
+TEST(Gdsf, SmallPopularBeatsLargeCold) {
+  // GDSF utility = clock + freq/size: a small, re-referenced object must
+  // outlive a large one-hit object under pressure.
+  GdsfCache c(1'000);
+  c.admit(1, 100);   // small
+  c.admit(2, 800);   // large
+  c.touch(1);
+  c.touch(1);
+  c.admit(3, 600);   // forces eviction; 2 has the lowest utility
+  EXPECT_TRUE(c.peek(1));
+  EXPECT_FALSE(c.peek(2));
+  EXPECT_TRUE(c.peek(3));
+}
+
+TEST(Gdsf, ClockInflatesOnEviction) {
+  GdsfCache c(100);
+  EXPECT_DOUBLE_EQ(c.clock(), 0.0);
+  c.admit(1, 100);
+  c.admit(2, 100);  // evicts 1
+  EXPECT_GT(c.clock(), 0.0);
+}
+
+TEST(Gdsf, FrequencyRaisesUtility) {
+  GdsfCache c(300);
+  c.admit(1, 100);
+  c.admit(2, 100);
+  c.admit(3, 100);
+  c.touch(2);       // 2 now safest among equals
+  c.admit(4, 250);  // big object forces multiple evictions
+  EXPECT_TRUE(c.peek(2) || c.peek(4));
+  EXPECT_FALSE(c.peek(1) && c.peek(3));
+}
+
+TEST(Slru, PromotionOnSecondAccess) {
+  SlruCache c(100, 0.5);
+  c.admit(1, 10);
+  EXPECT_EQ(c.protected_bytes(), 0u);
+  c.touch(1);
+  EXPECT_EQ(c.protected_bytes(), 10u);
+}
+
+TEST(Slru, OneHitWondersEvictedFirst) {
+  SlruCache c(40, 0.5);
+  c.admit(1, 10);
+  c.touch(1);      // protected
+  c.admit(2, 10);  // probation
+  c.admit(3, 10);
+  c.admit(4, 10);
+  c.admit(5, 10);  // forces eviction from probation, not protected
+  EXPECT_TRUE(c.peek(1));
+  EXPECT_FALSE(c.peek(2));
+}
+
+TEST(Slru, ProtectedOverflowDemotes) {
+  SlruCache c(100, 0.2);  // protected segment only 20 bytes
+  c.admit(1, 15);
+  c.touch(1);
+  c.admit(2, 15);
+  c.touch(2);  // promoting 2 (15b) exceeds 20b: 1 demotes to probation
+  EXPECT_LE(c.protected_bytes(), 20u + 15u);  // transiently bounded
+  EXPECT_TRUE(c.peek(1));
+  EXPECT_TRUE(c.peek(2));
+}
+
+}  // namespace
+}  // namespace starcdn::cache

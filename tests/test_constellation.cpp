@@ -1,0 +1,153 @@
+#include "orbit/constellation.h"
+
+#include <gtest/gtest.h>
+
+#include "orbit/tle.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace starcdn::orbit {
+namespace {
+
+WalkerParams small_shell() {
+  WalkerParams p;
+  p.planes = 12;
+  p.slots_per_plane = 6;
+  return p;
+}
+
+TEST(Constellation, StarlinkShellShape) {
+  const Constellation c{WalkerParams{}};
+  EXPECT_EQ(c.planes(), 72);
+  EXPECT_EQ(c.slots_per_plane(), 18);
+  EXPECT_EQ(c.size(), 1296);  // the 1296 slots of §5.4
+  EXPECT_EQ(c.active_count(), 1296);
+}
+
+TEST(Constellation, IndexIdRoundTrip) {
+  const Constellation c{small_shell()};
+  for (int i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.index_of(c.id_of(i)), i);
+  }
+}
+
+TEST(Constellation, RaanSpreadOverFullCircle) {
+  const Constellation c{small_shell()};
+  const double raan0 = c.elements({0, 0}).raan_rad;
+  const double raan6 = c.elements({6, 0}).raan_rad;
+  EXPECT_NEAR(raan6 - raan0, M_PI, 1e-9);  // half the planes = half circle
+}
+
+TEST(Constellation, AltitudeApplied) {
+  const Constellation c{WalkerParams{}};
+  EXPECT_NEAR(c.elements({3, 5}).semi_major_axis_km,
+              util::kEarthRadiusKm + 550.0, 1e-9);
+}
+
+TEST(Constellation, NeighborsWrapToroidally) {
+  const Constellation c{small_shell()};
+  EXPECT_EQ(c.intra_next({0, 5}), (SatelliteId{0, 0}));
+  EXPECT_EQ(c.intra_prev({0, 0}), (SatelliteId{0, 5}));
+  EXPECT_EQ(c.inter_east({11, 3}), (SatelliteId{0, 3}));
+  EXPECT_EQ(c.inter_west({0, 3}), (SatelliteId{11, 3}));
+  EXPECT_EQ(c.plane_offset({1, 1}, -3), (SatelliteId{10, 1}));
+  EXPECT_EQ(c.slot_offset({1, 1}, 7), (SatelliteId{1, 2}));
+}
+
+TEST(Constellation, GridHopsToroidal) {
+  const Constellation c{small_shell()};
+  EXPECT_EQ(c.grid_hops({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(c.grid_hops({0, 0}, {1, 1}), 2);
+  EXPECT_EQ(c.grid_hops({0, 0}, {11, 5}), 2);  // wraps both axes
+  EXPECT_EQ(c.grid_hops({0, 0}, {6, 3}), 9);   // max distance on this grid
+}
+
+TEST(Constellation, AdjacentSlotsAreAboutOneSpacingApart) {
+  // 18 slots on a 6,921 km radius orbit: chord ~ 2,400 km -> 8 ms (Table 1).
+  const Constellation c{WalkerParams{}};
+  const double d = distance(c.position_ecef({0, 0}, 0.0),
+                            c.position_ecef({0, 1}, 0.0));
+  EXPECT_NEAR(d, 2.0 * (util::kEarthRadiusKm + 550.0) *
+                     std::sin(M_PI / 18.0),
+              1.0);
+}
+
+TEST(Constellation, KnockOutRandomFraction) {
+  Constellation c{WalkerParams{}};
+  util::Rng rng(1);
+  c.knock_out_random(0.097, rng);  // the paper's 9.7% out-of-slot rate
+  EXPECT_EQ(c.active_count(), 1296 - 126);
+}
+
+TEST(Constellation, KnockOutIsDeterministic) {
+  Constellation a{small_shell()}, b{small_shell()};
+  util::Rng ra(9), rb(9);
+  a.knock_out_random(0.25, ra);
+  b.knock_out_random(0.25, rb);
+  for (int i = 0; i < a.size(); ++i) EXPECT_EQ(a.active(i), b.active(i));
+}
+
+TEST(Constellation, SetActiveToggle) {
+  Constellation c{small_shell()};
+  c.set_active({2, 3}, false);
+  EXPECT_FALSE(c.active({2, 3}));
+  EXPECT_EQ(c.active_count(), c.size() - 1);
+  c.set_active({2, 3}, true);
+  EXPECT_TRUE(c.active({2, 3}));
+}
+
+TEST(Constellation, FromTlesRecoversGrid) {
+  // Generate a Walker shell, serialize every slot to TLE text, re-ingest,
+  // and check the recovered elements match slot for slot.
+  const WalkerParams p = small_shell();
+  const Constellation original{p};
+  std::vector<Tle> tles;
+  for (int i = 0; i < original.size(); ++i) {
+    const auto& e = original.elements(original.id_of(i));
+    Tle t;
+    t.catalog_number = 50'000 + i;
+    t.inclination_deg = util::rad2deg(e.inclination_rad);
+    t.raan_deg = util::rad2deg(e.raan_rad);
+    t.arg_perigee_deg = 0.0;
+    t.mean_anomaly_deg = util::rad2deg(e.arg_latitude_epoch_rad);
+    t.mean_motion_rev_day =
+        util::kDay / orbital_period_s(e);
+    tles.push_back(t);
+  }
+  const Constellation rebuilt(p, tles);
+  EXPECT_EQ(rebuilt.active_count(), original.size());
+  for (int i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(rebuilt.elements(rebuilt.id_of(i)).raan_rad,
+                original.elements(original.id_of(i)).raan_rad, 1e-6);
+  }
+}
+
+TEST(Constellation, FromPartialTlesMarksMissingInactive) {
+  const WalkerParams p = small_shell();
+  const Constellation full{p};
+  std::vector<Tle> tles;
+  // Only provide TLEs for plane 0.
+  for (int s = 0; s < p.slots_per_plane; ++s) {
+    const auto& e = full.elements({0, s});
+    Tle t;
+    t.catalog_number = s;
+    t.inclination_deg = util::rad2deg(e.inclination_rad);
+    t.raan_deg = util::rad2deg(e.raan_rad);
+    t.mean_anomaly_deg = util::rad2deg(e.arg_latitude_epoch_rad);
+    t.mean_motion_rev_day = util::kDay / orbital_period_s(e);
+    tles.push_back(t);
+  }
+  const Constellation partial(p, tles);
+  EXPECT_EQ(partial.active_count(), p.slots_per_plane);
+  EXPECT_TRUE(partial.active({0, 0}));
+  EXPECT_FALSE(partial.active({1, 0}));
+}
+
+TEST(Constellation, InvalidShapeThrows) {
+  WalkerParams p;
+  p.planes = 0;
+  EXPECT_THROW(Constellation{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace starcdn::orbit

@@ -1,0 +1,86 @@
+#include "trace/fd.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/workload.h"
+#include "util/geo.h"
+
+namespace starcdn::trace {
+namespace {
+
+LocationTrace simple_trace() {
+  LocationTrace t;
+  t.location = 0;
+  double ts = 0.0;
+  // Three objects with distinct popularity; deterministic interleaving.
+  for (int round = 0; round < 50; ++round) {
+    t.requests.push_back({ts += 1.0, 1, 100, 0});
+    t.requests.push_back({ts += 1.0, 2, 200, 0});
+    if (round % 2 == 0) t.requests.push_back({ts += 1.0, 3, 400, 0});
+  }
+  return t;
+}
+
+TEST(FootprintDescriptor, BinningIsMonotone) {
+  EXPECT_EQ(FootprintDescriptor::pop_bin(1), 0);
+  EXPECT_LE(FootprintDescriptor::pop_bin(2), FootprintDescriptor::pop_bin(5));
+  EXPECT_LT(FootprintDescriptor::pop_bin(10), FootprintDescriptor::pop_bin(1000));
+  EXPECT_LE(FootprintDescriptor::size_bin(1), FootprintDescriptor::size_bin(1024));
+  EXPECT_LT(FootprintDescriptor::size_bin(10 * 1024),
+            FootprintDescriptor::size_bin(10 * 1024 * 1024));
+}
+
+TEST(FootprintDescriptor, ExtractBasicStatistics) {
+  const auto trace = simple_trace();
+  const auto fd = FootprintDescriptor::extract(trace);
+  EXPECT_GT(fd.observed_reuses(), 0u);
+  EXPECT_GT(fd.max_finite_stack_distance(), 0u);
+  EXPECT_GT(fd.request_rate_per_s(), 0.0);
+  EXPECT_GT(fd.mean_interarrival_s(), 0.0);
+  // Rate: 125 requests over ~124 seconds of span.
+  EXPECT_NEAR(fd.request_rate_per_s(), 1.0, 0.1);
+}
+
+TEST(FootprintDescriptor, EmptyTraceIsSafe) {
+  const LocationTrace empty;
+  const auto fd = FootprintDescriptor::extract(empty);
+  EXPECT_EQ(fd.observed_reuses(), 0u);
+  util::Rng rng(1);
+  EXPECT_EQ(fd.sample_stack_distance(5, 100, rng), 0u);
+}
+
+TEST(FootprintDescriptor, SampledDistancesAreObservedValues) {
+  const auto trace = simple_trace();
+  const auto fd = FootprintDescriptor::extract(trace);
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes d = fd.sample_stack_distance(50, 100, rng);
+    EXPECT_LE(d, fd.max_finite_stack_distance());
+  }
+}
+
+TEST(FootprintDescriptor, FallbackForUnseenCells) {
+  const auto trace = simple_trace();
+  const auto fd = FootprintDescriptor::extract(trace);
+  util::Rng rng(3);
+  // A popularity/size combination never observed: must fall back, not crash
+  // or return garbage beyond the observed range.
+  const Bytes d = fd.sample_stack_distance(1'000'000, 1'000'000'000, rng);
+  EXPECT_LE(d, fd.max_finite_stack_distance());
+}
+
+TEST(FootprintDescriptor, RealWorkloadExtraction) {
+  auto p = default_params(TrafficClass::kVideo);
+  p.object_count = 10'000;
+  p.duration_s = util::kHour;
+  const WorkloadModel w(util::paper_cities(), p);
+  const auto trace = w.generate_city(0, 20'000);
+  const auto fd = FootprintDescriptor::extract(trace);
+  // A heavy-tailed workload has substantial reuse.
+  EXPECT_GT(fd.observed_reuses(), trace.requests.size() / 4);
+  EXPECT_NEAR(fd.request_rate_per_s(),
+              20'000.0 / util::kHour, 20'000.0 / util::kHour * 0.2);
+}
+
+}  // namespace
+}  // namespace starcdn::trace

@@ -1,0 +1,64 @@
+#include "util/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace starcdn::util {
+namespace {
+
+TEST(Geo, HaversineKnownDistances) {
+  // New York <-> London is about 5,570 km.
+  const GeoCoord ny{40.71, -74.01};
+  const GeoCoord london{51.51, -0.13};
+  EXPECT_NEAR(haversine_km(ny, london), 5570.0, 60.0);
+  // Antipodal points: half the circumference.
+  const GeoCoord a{0.0, 0.0}, b{0.0, 180.0};
+  EXPECT_NEAR(haversine_km(a, b), 20'015.0, 10.0);
+}
+
+TEST(Geo, HaversineZeroForSamePoint) {
+  const GeoCoord p{48.2, 16.4};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Geo, HaversineSymmetric) {
+  const GeoCoord a{10.0, 20.0}, b{-30.0, 140.0};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Geo, WrapLongitude) {
+  EXPECT_DOUBLE_EQ(wrap_lon_deg(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(wrap_lon_deg(-190.0), 170.0);
+  EXPECT_DOUBLE_EQ(wrap_lon_deg(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_lon_deg(-180.0), -180.0);
+}
+
+TEST(Geo, DegRadRoundTrip) {
+  EXPECT_NEAR(rad2deg(deg2rad(53.0)), 53.0, 1e-12);
+}
+
+TEST(Geo, PaperCitiesMatchSection311) {
+  const auto& cities = paper_cities();
+  ASSERT_EQ(cities.size(), 9u);  // the nine Akamai trace cities
+  // All coordinates must be valid and weights positive.
+  for (const auto& c : cities) {
+    EXPECT_GE(c.coord.lat_deg, -90.0);
+    EXPECT_LE(c.coord.lat_deg, 90.0);
+    EXPECT_GE(c.coord.lon_deg, -180.0);
+    EXPECT_LE(c.coord.lon_deg, 180.0);
+    EXPECT_GT(c.traffic_weight, 0.0);
+    EXPECT_FALSE(c.region.empty());
+  }
+  // Frankfurt and Vienna share the German content region (Table 2 setup).
+  EXPECT_EQ(cities[6].region, cities[7].region);
+}
+
+TEST(Geo, GlobalCitiesSupersetOfPaperCities) {
+  const auto& global = global_cities();
+  EXPECT_GT(global.size(), paper_cities().size());
+  for (std::size_t i = 0; i < paper_cities().size(); ++i) {
+    EXPECT_EQ(global[i].name, paper_cities()[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace starcdn::util

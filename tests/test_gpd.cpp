@@ -1,0 +1,79 @@
+#include "trace/gpd.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/workload.h"
+#include "util/geo.h"
+
+namespace starcdn::trace {
+namespace {
+
+MultiTrace two_location_trace() {
+  MultiTrace t(2);
+  t[0].location = 0;
+  t[1].location = 1;
+  // Object 1: popular in both; object 2: only location 0; object 3: only 1.
+  for (int i = 0; i < 10; ++i) t[0].requests.push_back({1.0 * i, 1, 100, 0});
+  for (int i = 0; i < 5; ++i) t[1].requests.push_back({1.0 * i, 1, 100, 1});
+  for (int i = 0; i < 3; ++i) t[0].requests.push_back({20.0 + i, 2, 50, 0});
+  t[1].requests.push_back({30.0, 3, 25, 1});
+  return t;
+}
+
+TEST(Gpd, ExtractCountsPopularityPerLocation) {
+  const auto gpd = GlobalPopularityDistribution::extract(two_location_trace());
+  EXPECT_EQ(gpd.locations(), 2u);
+  EXPECT_EQ(gpd.object_count(), 3u);
+
+  // Find object 1's tuple via its size.
+  bool found_shared = false;
+  for (const auto& t : gpd.tuples()) {
+    if (t.size == 100) {
+      found_shared = true;
+      EXPECT_EQ(t.spread(), 2u);
+      EXPECT_EQ(t.popularity_at(0), 10u);
+      EXPECT_EQ(t.popularity_at(1), 5u);
+      EXPECT_EQ(t.popularity_at(7), 0u);
+    }
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST(Gpd, SpreadOfLocalObjectsIsOne) {
+  const auto gpd = GlobalPopularityDistribution::extract(two_location_trace());
+  int singles = 0;
+  for (const auto& t : gpd.tuples()) singles += t.spread() == 1;
+  EXPECT_EQ(singles, 2);
+}
+
+TEST(Gpd, SampleReturnsExistingTuples) {
+  const auto gpd = GlobalPopularityDistribution::extract(two_location_trace());
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto& t = gpd.sample(rng);
+    EXPECT_TRUE(t.size == 100 || t.size == 50 || t.size == 25);
+  }
+}
+
+TEST(Gpd, WorkloadSpreadStructure) {
+  // The production workload's GPD must show: most objects regional (low
+  // spread), some shared broadly — the Fig. 6a "object spread" shape.
+  auto p = default_params(TrafficClass::kVideo);
+  p.object_count = 20'000;
+  p.requests_per_weight = 10'000;
+  p.duration_s = util::kHour;
+  const WorkloadModel w(util::paper_cities(), p);
+  const auto gpd = GlobalPopularityDistribution::extract(w.generate());
+
+  std::size_t spread1 = 0, spread_all = 0;
+  for (const auto& t : gpd.tuples()) {
+    if (t.spread() == 1) ++spread1;
+    if (t.spread() == gpd.locations()) ++spread_all;
+  }
+  EXPECT_GT(spread1, gpd.object_count() / 4);  // regional majority
+  EXPECT_GT(spread_all, 0u);                   // some global objects
+  EXPECT_LT(spread_all, spread1);
+}
+
+}  // namespace
+}  // namespace starcdn::trace

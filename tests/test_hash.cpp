@@ -1,0 +1,59 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+namespace starcdn::util {
+namespace {
+
+TEST(Hash, SplitmixIsDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Hash, SplitmixIsBijectiveOnSmallRange) {
+  // A bijection never collides; check a window of adjacent inputs, which is
+  // exactly the object-id pattern the bucket mapper feeds it.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10'000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 10'000u);
+}
+
+TEST(Hash, SplitmixAvalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (std::uint64_t i = 1; i < 1'000; ++i) {
+    total += std::popcount(splitmix64(i) ^ splitmix64(i ^ 1ULL));
+  }
+  const double mean_flips = total / 999.0;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(Hash, Fnv1aMatchesKnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, CombineOrderMatters) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Hash, BucketUniformity) {
+  // splitmix64 % L must spread sequential ids evenly (the consistent
+  // hashing property §3.2 relies on).
+  constexpr int kBuckets = 9;
+  int counts[kBuckets] = {};
+  constexpr int kN = 90'000;
+  for (std::uint64_t i = 0; i < kN; ++i) ++counts[splitmix64(i) % kBuckets];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, kN / kBuckets * 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace starcdn::util

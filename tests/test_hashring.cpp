@@ -1,0 +1,104 @@
+#include "cache/hashring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace starcdn::cache {
+namespace {
+
+TEST(HashRing, EmptyAndCounts) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  ring.add_server(1);
+  ring.add_server(2);
+  EXPECT_EQ(ring.server_count(), 2u);
+  ring.add_server(1);  // duplicate ignored
+  EXPECT_EQ(ring.server_count(), 2u);
+}
+
+TEST(HashRing, OwnerIsDeterministic) {
+  HashRing ring;
+  for (std::uint32_t s = 0; s < 8; ++s) ring.add_server(s);
+  for (ObjectId o = 0; o < 100; ++o) {
+    EXPECT_EQ(ring.owner(o), ring.owner(o));
+  }
+}
+
+TEST(HashRing, LoadIsRoughlyBalanced) {
+  HashRing ring(128);
+  constexpr int kServers = 10;
+  for (std::uint32_t s = 0; s < kServers; ++s) ring.add_server(s);
+  std::map<std::uint32_t, int> load;
+  constexpr int kObjects = 50'000;
+  for (ObjectId o = 0; o < kObjects; ++o) ++load[ring.owner(o)];
+  for (const auto& [server, n] : load) {
+    EXPECT_GT(n, kObjects / kServers / 2) << "server " << server;
+    EXPECT_LT(n, kObjects / kServers * 2) << "server " << server;
+  }
+}
+
+TEST(HashRing, MinimalRemappingOnRemoval) {
+  // Consistent hashing's defining property (§3.2 / Karger): removing one of
+  // S servers remaps ~1/S of the keys and nothing else.
+  HashRing ring(128);
+  constexpr int kServers = 10;
+  for (std::uint32_t s = 0; s < kServers; ++s) ring.add_server(s);
+  constexpr int kObjects = 20'000;
+  std::vector<std::uint32_t> before(kObjects);
+  for (ObjectId o = 0; o < kObjects; ++o) before[o] = ring.owner(o);
+
+  ring.remove_server(3);
+  int moved = 0;
+  for (ObjectId o = 0; o < kObjects; ++o) {
+    const auto now = ring.owner(o);
+    EXPECT_NE(now, 3u);
+    if (before[o] != 3 && now != before[o]) {
+      FAIL() << "object " << o << " moved despite its server surviving";
+    }
+    if (before[o] == 3) ++moved;
+  }
+  EXPECT_NEAR(moved, kObjects / kServers, kObjects / kServers * 0.5);
+}
+
+TEST(HashRing, AddingServerStealsOnlyFromOthers) {
+  HashRing ring(64);
+  for (std::uint32_t s = 0; s < 5; ++s) ring.add_server(s);
+  std::vector<std::uint32_t> before(5'000);
+  for (ObjectId o = 0; o < before.size(); ++o) before[o] = ring.owner(o);
+  ring.add_server(99);
+  for (ObjectId o = 0; o < before.size(); ++o) {
+    const auto now = ring.owner(o);
+    EXPECT_TRUE(now == before[o] || now == 99u);
+  }
+}
+
+TEST(HashRing, OwnersReturnsDistinctServers) {
+  HashRing ring;
+  for (std::uint32_t s = 0; s < 6; ++s) ring.add_server(s);
+  const auto owners = ring.owners(1234, 3);
+  ASSERT_EQ(owners.size(), 3u);
+  EXPECT_NE(owners[0], owners[1]);
+  EXPECT_NE(owners[1], owners[2]);
+  EXPECT_NE(owners[0], owners[2]);
+  EXPECT_EQ(owners[0], ring.owner(1234));
+}
+
+TEST(HashRing, OwnersClampedToServerCount) {
+  HashRing ring;
+  ring.add_server(1);
+  ring.add_server(2);
+  EXPECT_EQ(ring.owners(7, 10).size(), 2u);
+  HashRing empty;
+  EXPECT_TRUE(empty.owners(7, 3).empty());
+}
+
+TEST(HashRing, RemoveNonexistentIsNoop) {
+  HashRing ring;
+  ring.add_server(1);
+  ring.remove_server(42);
+  EXPECT_EQ(ring.server_count(), 1u);
+}
+
+}  // namespace
+}  // namespace starcdn::cache

@@ -1,0 +1,74 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace starcdn::util {
+namespace {
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, AddAndClamp) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(-5.0);   // clamps to first bin
+  h.add(99.0);   // clamps to last bin
+  h.add(9.999);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, WeightedMass) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5, 3.0);
+  h.add(2.5, 1.0);
+  const auto pmf = h.pmf();
+  EXPECT_DOUBLE_EQ(pmf[0], 0.75);
+  EXPECT_DOUBLE_EQ(pmf[2], 0.25);
+}
+
+TEST(Histogram, CdfEndsAtOne) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+  const auto cdf = h.cdf();
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-12);
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+}
+
+TEST(Histogram, TvDistanceIdenticalIsZero) {
+  Histogram a(0.0, 1.0, 4), b(0.0, 1.0, 4);
+  for (double x : {0.1, 0.3, 0.6, 0.9}) {
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_DOUBLE_EQ(a.tv_distance(b), 0.0);
+}
+
+TEST(Histogram, TvDistanceDisjointIsOne) {
+  Histogram a(0.0, 1.0, 2), b(0.0, 1.0, 2);
+  a.add(0.25);
+  b.add(0.75);
+  EXPECT_DOUBLE_EQ(a.tv_distance(b), 1.0);
+}
+
+TEST(Histogram, TvDistanceMismatchedBinsThrows) {
+  Histogram a(0.0, 1.0, 2);
+  const Histogram b(0.0, 1.0, 3);
+  EXPECT_THROW((void)a.tv_distance(b), std::invalid_argument);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace starcdn::util

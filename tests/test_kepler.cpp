@@ -1,0 +1,129 @@
+// Elliptical (full Keplerian) propagation and the uplink bandwidth meter.
+#include <gtest/gtest.h>
+
+#include "net/bandwidth.h"
+#include "orbit/propagator.h"
+#include "orbit/tle.h"
+#include "util/units.h"
+
+namespace starcdn {
+namespace {
+
+using orbit::KeplerianElements;
+
+TEST(Kepler, SolverOnCircularOrbitIsIdentity) {
+  for (double M = -3.0; M <= 3.0; M += 0.37) {
+    EXPECT_NEAR(orbit::solve_kepler(M, 0.0), M, 1e-12);
+  }
+}
+
+TEST(Kepler, SolverSatisfiesEquation) {
+  for (const double e : {0.01, 0.1, 0.4, 0.7, 0.85}) {
+    for (double M = 0.0; M < 6.28; M += 0.41) {
+      const double E = orbit::solve_kepler(M, e);
+      EXPECT_NEAR(E - e * std::sin(E), M, 1e-10)
+          << "e=" << e << " M=" << M;
+    }
+  }
+}
+
+KeplerianElements molniya_like() {
+  KeplerianElements e;
+  e.semi_major_axis_km = 26'600.0;
+  e.eccentricity = 0.74;
+  e.inclination_rad = util::deg2rad(63.4);
+  e.arg_perigee_rad = util::deg2rad(270.0);
+  return e;
+}
+
+TEST(Kepler, RadiusBoundedByApsides) {
+  const auto e = molniya_like();
+  const double perigee = e.semi_major_axis_km * (1.0 - e.eccentricity);
+  const double apogee = e.semi_major_axis_km * (1.0 + e.eccentricity);
+  const double T = 2.0 * M_PI / orbit::mean_motion_rad_s(e);
+  double rmin = 1e18, rmax = 0.0;
+  for (double t = 0.0; t < T; t += T / 500.0) {
+    const double r = orbit::eci_position(e, t).norm();
+    rmin = std::min(rmin, r);
+    rmax = std::max(rmax, r);
+    ASSERT_GE(r, perigee - 1.0);
+    ASSERT_LE(r, apogee + 1.0);
+  }
+  EXPECT_NEAR(rmin, perigee, 5.0);
+  EXPECT_NEAR(rmax, apogee, 5.0);
+}
+
+TEST(Kepler, ReducesToCircularAtZeroEccentricity) {
+  orbit::CircularElements c;
+  c.semi_major_axis_km = 6'921.0;
+  c.inclination_rad = util::deg2rad(53.0);
+  c.raan_rad = 0.7;
+  c.arg_latitude_epoch_rad = 1.3;
+  KeplerianElements k;
+  k.semi_major_axis_km = c.semi_major_axis_km;
+  k.eccentricity = 0.0;
+  k.inclination_rad = c.inclination_rad;
+  k.raan_rad = c.raan_rad;
+  k.arg_perigee_rad = 0.9;
+  k.mean_anomaly_epoch_rad = 0.4;  // w + M = 1.3 = u0
+  for (double t = 0.0; t < 6'000.0; t += 500.0) {
+    const auto a = orbit::eci_position(c, t);
+    const auto b = orbit::eci_position(k, t);
+    EXPECT_NEAR(orbit::distance(a, b), 0.0, 0.5) << "t=" << t;
+  }
+}
+
+TEST(Kepler, TleToKeplerianKeepsEccentricity) {
+  orbit::Tle t;
+  t.eccentricity = 0.0006703;
+  t.inclination_deg = 51.64;
+  t.arg_perigee_deg = 130.5;
+  t.mean_anomaly_deg = 325.0;
+  t.mean_motion_rev_day = 15.72;
+  const auto e = t.to_keplerian();
+  EXPECT_DOUBLE_EQ(e.eccentricity, 0.0006703);
+  EXPECT_NEAR(e.arg_perigee_rad, util::deg2rad(130.5), 1e-12);
+  // Same semi-major axis as the circular reduction.
+  EXPECT_NEAR(e.semi_major_axis_km, t.to_circular().semi_major_axis_km, 1e-9);
+}
+
+// --- UplinkMeter ---------------------------------------------------------------
+
+TEST(UplinkMeter, ThroughputArithmetic) {
+  net::UplinkMeter meter(15.0, 20.0);
+  // 1 GB in one epoch = 8 Gb / 15 s ≈ 0.533 Gbps.
+  meter.add(7, 0, 1'000'000'000);
+  meter.flush();
+  EXPECT_EQ(meter.throughput_gbps().count(), 1u);
+  EXPECT_NEAR(meter.throughput_gbps().mean(), 0.533, 0.01);
+  EXPECT_EQ(meter.overloaded_cells(), 0u);
+  EXPECT_EQ(meter.total_bytes(), 1'000'000'000u);
+}
+
+TEST(UplinkMeter, AccumulatesWithinEpochSplitsAcross) {
+  net::UplinkMeter meter(15.0, 20.0);
+  meter.add(1, 0, 500);
+  meter.add(1, 0, 500);   // same cell
+  meter.add(1, 1, 500);   // next epoch: first cell flushed
+  meter.flush();
+  EXPECT_EQ(meter.throughput_gbps().count(), 2u);
+}
+
+TEST(UplinkMeter, DetectsOverload) {
+  net::UplinkMeter meter(15.0, 20.0);
+  // 20 Gbps * 15 s = 37.5 GB; exceed it.
+  meter.add(3, 0, 40'000'000'000ULL);
+  meter.flush();
+  EXPECT_EQ(meter.overloaded_cells(), 1u);
+}
+
+TEST(UplinkMeter, SeparateSatellitesSeparateCells) {
+  net::UplinkMeter meter;
+  meter.add(1, 0, 100);
+  meter.add(2, 0, 100);
+  meter.flush();
+  EXPECT_EQ(meter.throughput_gbps().count(), 2u);
+}
+
+}  // namespace
+}  // namespace starcdn

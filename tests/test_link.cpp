@@ -1,0 +1,60 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include "util/geo.h"
+
+namespace starcdn::net {
+namespace {
+
+TEST(Link, NamesAndBandwidths) {
+  EXPECT_STREQ(to_string(LinkType::kGsl), "GSL");
+  EXPECT_DOUBLE_EQ(nominal_bandwidth_gbps(LinkType::kIntraOrbitIsl), 100.0);
+  EXPECT_DOUBLE_EQ(nominal_bandwidth_gbps(LinkType::kInterOrbitIsl), 100.0);
+  EXPECT_DOUBLE_EQ(nominal_bandwidth_gbps(LinkType::kGsl), 20.0);
+}
+
+TEST(Link, MeasuredDelaysMatchTable1) {
+  // Table 1: intra-orbit ISL avg 8.03 ms; inter-orbit avg 2.15 ms; GSL avg
+  // 2.94 ms min 1.82 ms. Our geometric model should land within ~15%.
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  std::vector<util::GeoCoord> grounds;
+  for (const auto& c : util::paper_cities()) grounds.push_back(c.coord);
+  const auto stats =
+      measure_link_delays(shell, grounds, 600.0, 60.0);  // 10 min @ 1/min
+
+  EXPECT_NEAR(stats.intra_orbit_isl.mean(), 8.03, 0.4);
+  EXPECT_NEAR(stats.inter_orbit_isl.mean(), 2.15, 0.7);
+  EXPECT_GT(stats.gsl.min(), 1.7);
+  EXPECT_LT(stats.gsl.mean(), 4.0);
+  EXPECT_GT(stats.gsl.count(), 0u);
+}
+
+TEST(Link, IntraOrbitDelayIsConstant) {
+  // Slots in one plane are rigidly spaced; the delay has ~zero variance.
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  const auto stats = measure_link_delays(shell, {}, 300.0, 60.0);
+  EXPECT_LT(stats.intra_orbit_isl.stddev(), 0.01);
+}
+
+TEST(Link, InterOrbitDelayVariesWithLatitude) {
+  // Adjacent planes converge toward the inclination extremes, so the
+  // inter-orbit delay has visible spread (Table 1 std 0.49 ms).
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  const auto stats = measure_link_delays(shell, {}, 300.0, 60.0);
+  EXPECT_GT(stats.inter_orbit_isl.stddev(), 0.1);
+  EXPECT_LT(stats.inter_orbit_isl.stddev(), 1.5);
+}
+
+TEST(Link, InactiveSatellitesNotSampled) {
+  orbit::Constellation shell{orbit::WalkerParams{}};
+  for (int i = 0; i < shell.size(); ++i) {
+    shell.set_active(shell.id_of(i), i == 0);  // only one satellite alive
+  }
+  const auto stats = measure_link_delays(shell, {}, 60.0, 60.0);
+  EXPECT_EQ(stats.intra_orbit_isl.count(), 0u);
+  EXPECT_EQ(stats.inter_orbit_isl.count(), 0u);
+}
+
+}  // namespace
+}  // namespace starcdn::net

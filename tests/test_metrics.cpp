@@ -1,0 +1,52 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+
+namespace starcdn::core {
+namespace {
+
+TEST(VariantMetrics, RatesFromCounters) {
+  VariantMetrics m;
+  m.requests = 100;
+  m.local_hits = 40;
+  m.routed_hits = 20;
+  m.relay_west_hits = 8;
+  m.relay_east_hits = 2;
+  m.misses = 30;
+  EXPECT_EQ(m.hits(), 70u);
+  EXPECT_DOUBLE_EQ(m.request_hit_rate(), 0.7);
+
+  m.bytes_requested = 1'000;
+  m.bytes_hit = 600;
+  m.uplink_bytes = 400;
+  EXPECT_DOUBLE_EQ(m.byte_hit_rate(), 0.6);
+  EXPECT_DOUBLE_EQ(m.normalized_uplink(), 0.4);
+}
+
+TEST(VariantMetrics, EmptyIsZeroNotNan) {
+  const VariantMetrics m;
+  EXPECT_EQ(m.request_hit_rate(), 0.0);
+  EXPECT_EQ(m.byte_hit_rate(), 0.0);
+  EXPECT_EQ(m.normalized_uplink(), 0.0);
+}
+
+TEST(CacheStats, MergeAccumulates) {
+  starcdn::cache::CacheStats a, b;
+  a.requests = 10;
+  a.hits = 5;
+  a.bytes_requested = 100;
+  a.bytes_hit = 40;
+  a.evictions = 2;
+  b = a;
+  a.merge(b);
+  EXPECT_EQ(a.requests, 20u);
+  EXPECT_EQ(a.hits, 10u);
+  EXPECT_EQ(a.bytes_hit, 80u);
+  EXPECT_EQ(a.evictions, 4u);
+  EXPECT_DOUBLE_EQ(a.request_hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace starcdn::core

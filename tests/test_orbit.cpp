@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "orbit/propagator.h"
+#include "orbit/vec3.h"
+#include "util/units.h"
+
+namespace starcdn::orbit {
+namespace {
+
+CircularElements starlink_like() {
+  CircularElements e;
+  e.semi_major_axis_km = util::kEarthRadiusKm + 550.0;
+  e.inclination_rad = util::deg2rad(53.0);
+  e.raan_rad = 0.3;
+  e.arg_latitude_epoch_rad = 1.1;
+  return e;
+}
+
+TEST(Vec3, Algebra) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ((a + b).x, 5.0);
+  EXPECT_DOUBLE_EQ((b - a).z, 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  const Vec3 c = a.cross(b);
+  EXPECT_DOUBLE_EQ(c.x, -3.0);
+  EXPECT_DOUBLE_EQ(c.y, 6.0);
+  EXPECT_DOUBLE_EQ(c.z, -3.0);
+  EXPECT_NEAR((Vec3{3, 4, 0}.norm()), 5.0, 1e-12);
+  EXPECT_NEAR((Vec3{3, 4, 0}.normalized().norm()), 1.0, 1e-12);
+}
+
+TEST(Vec3, RotateZ) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 r = rotate_z(x, M_PI / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_NEAR(r.z, 0.0, 1e-12);
+}
+
+TEST(Propagator, PeriodIsAbout95Minutes) {
+  // 550 km circular orbit: T = 2*pi*sqrt(a^3/mu) ≈ 5'740 s.
+  EXPECT_NEAR(orbital_period_s(starlink_like()), 5740.0, 30.0);
+}
+
+TEST(Propagator, RadiusIsInvariant) {
+  const auto e = starlink_like();
+  for (double t = 0.0; t < 6'000.0; t += 321.0) {
+    EXPECT_NEAR(eci_position(e, t).norm(), e.semi_major_axis_km, 1e-6);
+    EXPECT_NEAR(ecef_position(e, t).norm(), e.semi_major_axis_km, 1e-6);
+  }
+}
+
+TEST(Propagator, ReturnsToStartAfterOnePeriodInEci) {
+  const auto e = starlink_like();
+  const double T = orbital_period_s(e);
+  const Vec3 p0 = eci_position(e, 0.0);
+  const Vec3 p1 = eci_position(e, T);
+  EXPECT_NEAR(distance(p0, p1), 0.0, 1.0);  // within 1 km numerically
+}
+
+TEST(Propagator, EcefDriftsWestwardPerOrbit) {
+  // After one orbital period Earth has rotated ~24 degrees east, so the
+  // ground track shifts ~24 degrees west (Fig. 3's precession).
+  const auto e = starlink_like();
+  const double T = orbital_period_s(e);
+  const auto g0 = ground_track_point(e, 0.0);
+  const auto g1 = ground_track_point(e, T);
+  const double shift = util::wrap_lon_deg(g0.lon_deg - g1.lon_deg);
+  EXPECT_NEAR(shift, 360.0 * T / util::kEarthSiderealDayS, 0.5);
+}
+
+TEST(Propagator, GroundTrackBoundedByInclination) {
+  const auto e = starlink_like();
+  for (double t = 0.0; t < 12'000.0; t += 97.0) {
+    EXPECT_LE(std::abs(ground_track_point(e, t).lat_deg), 53.0 + 1e-6);
+  }
+}
+
+TEST(Propagator, GroundTrackReachesInclinationLatitude) {
+  const auto e = starlink_like();
+  double max_lat = 0.0;
+  for (double t = 0.0; t < 6'000.0; t += 10.0) {
+    max_lat = std::max(max_lat, std::abs(ground_track_point(e, t).lat_deg));
+  }
+  EXPECT_GT(max_lat, 52.5);
+}
+
+TEST(Propagator, GeodeticEcefRoundTrip) {
+  for (const auto& g : {util::GeoCoord{0, 0}, util::GeoCoord{40.7, -74.0},
+                        util::GeoCoord{-33.9, 151.2}, util::GeoCoord{89.0, 10.0}}) {
+    const auto back = ecef_to_geodetic(geodetic_to_ecef(g));
+    EXPECT_NEAR(back.lat_deg, g.lat_deg, 1e-9);
+    EXPECT_NEAR(back.lon_deg, g.lon_deg, 1e-9);
+  }
+}
+
+TEST(Propagator, GeodeticAltitude) {
+  const auto p = geodetic_to_ecef({0.0, 0.0}, 550.0);
+  EXPECT_NEAR(p.norm(), util::kEarthRadiusKm + 550.0, 1e-9);
+}
+
+TEST(Propagator, EciToEcefAtTimeZeroIsIdentity) {
+  const Vec3 p{1000.0, 2000.0, 3000.0};
+  const Vec3 q = eci_to_ecef(p, 0.0);
+  EXPECT_DOUBLE_EQ(q.x, p.x);
+  EXPECT_DOUBLE_EQ(q.y, p.y);
+  EXPECT_DOUBLE_EQ(q.z, p.z);
+}
+
+}  // namespace
+}  // namespace starcdn::orbit

@@ -1,0 +1,106 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace starcdn::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.stddev(), 0.2887, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiased) {
+  Rng rng(2);
+  int counts[7] = {};
+  for (int i = 0; i < 70'000; ++i) ++counts[rng.below(7)];
+  for (const int c : counts) EXPECT_NEAR(c, 10'000, 500);
+}
+
+TEST(Rng, BelowEdgeCases) {
+  Rng rng(3);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(6);
+  QuantileSampler q;
+  for (int i = 0; i < 50'000; ++i) q.add(rng.lognormal(2.0, 0.5));
+  EXPECT_NEAR(q.median(), std::exp(2.0), 0.15);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ParetoLowerBound) {
+  Rng rng(8);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(rng.pareto(400.0, 0.7), 400.0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng root(9);
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits, 30'000, 600);
+}
+
+}  // namespace
+}  // namespace starcdn::util

@@ -1,0 +1,197 @@
+// Parameterized cross-module sweeps: every traffic class through the
+// workload/SpaceGEN pipeline, and every cache policy through the full
+// StarCDN simulator — broad invariants that must hold at any point of the
+// configuration space.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "core/simulator.h"
+#include "trace/spacegen.h"
+#include "trace/workload.h"
+#include "util/geo.h"
+
+namespace starcdn {
+namespace {
+
+// --- traffic-class sweep --------------------------------------------------------
+
+class TrafficClassTest
+    : public ::testing::TestWithParam<trace::TrafficClass> {};
+
+TEST_P(TrafficClassTest, WorkloadStructurallySound) {
+  auto p = trace::default_params(GetParam());
+  p.object_count = 10'000;
+  p.requests_per_weight = 4'000;
+  p.duration_s = util::kHour;
+  const trace::WorkloadModel w(util::paper_cities(), p);
+  const auto traces = w.generate();
+  ASSERT_EQ(traces.size(), util::paper_cities().size());
+  for (const auto& t : traces) {
+    ASSERT_FALSE(t.requests.empty());
+    for (const auto& r : t.requests) {
+      ASSERT_GE(r.size, 1u);
+      ASSERT_LT(r.object, p.object_count);
+      ASSERT_GE(r.timestamp_s, 0.0);
+      ASSERT_LT(r.timestamp_s, p.duration_s);
+    }
+  }
+}
+
+TEST_P(TrafficClassTest, SpaceGenRoundTripsTheClass) {
+  auto p = trace::default_params(GetParam());
+  p.object_count = 8'000;
+  p.requests_per_weight = 3'000;
+  p.duration_s = util::kHour;
+  const trace::WorkloadModel w(util::paper_cities(), p);
+  const auto production = w.generate();
+  const auto gen = trace::SpaceGen::fit(production);
+  trace::SpaceGenConfig cfg;
+  cfg.target_requests_per_location = 2'000;
+  const auto synthetic = gen.generate(cfg);
+  ASSERT_EQ(synthetic.size(), production.size());
+  // Mean object size must carry through the GPD within a factor.
+  const auto mean_size = [](const trace::MultiTrace& ts) {
+    double bytes = 0.0, n = 0.0;
+    for (const auto& t : ts) {
+      for (const auto& r : t.requests) {
+        bytes += static_cast<double>(r.size);
+        n += 1.0;
+      }
+    }
+    return bytes / std::max(1.0, n);
+  };
+  const double prod = mean_size(production);
+  const double synth = mean_size(synthetic);
+  EXPECT_GT(synth, prod * 0.5);
+  EXPECT_LT(synth, prod * 2.0);
+}
+
+TEST_P(TrafficClassTest, StarCdnBeatsLruForEveryClass) {
+  auto p = trace::default_params(GetParam());
+  p.object_count = 10'000;
+  p.requests_per_weight = 5'000;
+  p.duration_s = util::kHour;
+  const trace::WorkloadModel w(util::paper_cities(), p);
+  const auto requests = trace::merge_by_time(w.generate());
+
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  const sched::LinkSchedule schedule(shell, util::paper_cities(),
+                                     p.duration_s);
+  core::SimConfig cfg;
+  cfg.cache_capacity = util::mib(128);
+  cfg.buckets = 9;
+  cfg.sample_latency = false;
+  core::Simulator sim(shell, schedule, cfg);
+  sim.add_variant(core::Variant::kStarCdn);
+  sim.add_variant(core::Variant::kVanillaLru);
+  sim.run(requests);
+  EXPECT_GT(sim.metrics(core::Variant::kStarCdn).request_hit_rate(),
+            sim.metrics(core::Variant::kVanillaLru).request_hit_rate());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, TrafficClassTest,
+                         ::testing::Values(trace::TrafficClass::kVideo,
+                                           trace::TrafficClass::kWeb,
+                                           trace::TrafficClass::kDownload),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// --- cache-policy sweep through the simulator -----------------------------------
+
+class SimPolicyTest : public ::testing::TestWithParam<cache::Policy> {
+ protected:
+  static void SetUpTestSuite() {
+    shell_ = new orbit::Constellation{orbit::WalkerParams{}};
+    auto p = trace::default_params(trace::TrafficClass::kVideo);
+    p.object_count = 15'000;
+    p.requests_per_weight = 6'000;
+    p.duration_s = util::kHour;
+    const trace::WorkloadModel w(util::paper_cities(), p);
+    requests_ = new std::vector<trace::Request>(
+        trace::merge_by_time(w.generate()));
+    schedule_ = new sched::LinkSchedule(*shell_, util::paper_cities(),
+                                        p.duration_s);
+  }
+  static void TearDownTestSuite() {
+    delete requests_;
+    delete schedule_;
+    delete shell_;
+    requests_ = nullptr;
+    schedule_ = nullptr;
+    shell_ = nullptr;
+  }
+  static orbit::Constellation* shell_;
+  static std::vector<trace::Request>* requests_;
+  static sched::LinkSchedule* schedule_;
+};
+
+orbit::Constellation* SimPolicyTest::shell_ = nullptr;
+std::vector<trace::Request>* SimPolicyTest::requests_ = nullptr;
+sched::LinkSchedule* SimPolicyTest::schedule_ = nullptr;
+
+TEST_P(SimPolicyTest, ConservationUnderEveryPolicy) {
+  // §3.2: "our consistent hashing scheme accommodates any cache
+  // replacement scheme". All invariants must hold regardless of policy.
+  core::SimConfig cfg;
+  cfg.policy = GetParam();
+  cfg.cache_capacity = util::mib(128);
+  cfg.buckets = 4;
+  cfg.sample_latency = false;
+  core::Simulator sim(*shell_, *schedule_, cfg);
+  sim.add_variant(core::Variant::kStarCdn);
+  sim.add_variant(core::Variant::kVanillaLru);
+  sim.run(*requests_);
+  for (const auto v : {core::Variant::kStarCdn, core::Variant::kVanillaLru}) {
+    const auto& m = sim.metrics(v);
+    EXPECT_EQ(m.requests, requests_->size());
+    EXPECT_EQ(m.hits() + m.misses, m.requests);
+    EXPECT_EQ(m.bytes_hit + m.uplink_bytes, m.bytes_requested);
+  }
+  EXPECT_GT(sim.metrics(core::Variant::kStarCdn).request_hit_rate(),
+            sim.metrics(core::Variant::kVanillaLru).request_hit_rate());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SimPolicyTest,
+                         ::testing::Values(cache::Policy::kLru,
+                                           cache::Policy::kLfu,
+                                           cache::Policy::kFifo,
+                                           cache::Policy::kSieve,
+                                           cache::Policy::kSlru,
+                                           cache::Policy::kGdsf),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// --- bucket-count sweep -----------------------------------------------------------
+
+class BucketSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BucketSweepTest, HashedVariantsValidAtEveryL) {
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  auto p = trace::default_params(trace::TrafficClass::kVideo);
+  p.object_count = 8'000;
+  p.requests_per_weight = 2'500;
+  p.duration_s = util::kHour / 2;
+  const trace::WorkloadModel w(util::paper_cities(), p);
+  const auto requests = trace::merge_by_time(w.generate());
+  const sched::LinkSchedule schedule(shell, util::paper_cities(),
+                                     p.duration_s);
+  core::SimConfig cfg;
+  cfg.cache_capacity = util::mib(128);
+  cfg.buckets = GetParam();
+  cfg.sample_latency = false;
+  core::Simulator sim(shell, schedule, cfg);
+  sim.add_variant(core::Variant::kStarCdn);
+  sim.run(requests);
+  const auto& m = sim.metrics(core::Variant::kStarCdn);
+  EXPECT_EQ(m.hits() + m.misses, m.requests);
+  EXPECT_GT(m.request_hit_rate(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SquareL, BucketSweepTest,
+                         ::testing::Values(1, 4, 9, 16, 25));
+
+}  // namespace
+}  // namespace starcdn

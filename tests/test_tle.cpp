@@ -1,0 +1,96 @@
+#include "orbit/tle.h"
+
+#include <gtest/gtest.h>
+
+#include "util/geo.h"
+#include "util/units.h"
+
+namespace starcdn::orbit {
+namespace {
+
+// A real ISS TLE (checksums valid).
+constexpr const char* kIssL1 =
+    "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+constexpr const char* kIssL2 =
+    "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+
+TEST(Tle, ChecksumOfRealLine) {
+  EXPECT_EQ(tle_checksum(kIssL1), 7);
+  EXPECT_EQ(tle_checksum(kIssL2), 7);
+}
+
+TEST(Tle, ParseRealTle) {
+  const auto t = parse_tle(kIssL1, kIssL2, "ISS (ZARYA)");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->name, "ISS (ZARYA)");
+  EXPECT_EQ(t->catalog_number, 25544);
+  EXPECT_NEAR(t->inclination_deg, 51.6416, 1e-4);
+  EXPECT_NEAR(t->raan_deg, 247.4627, 1e-4);
+  EXPECT_NEAR(t->eccentricity, 0.0006703, 1e-7);
+  EXPECT_NEAR(t->mean_motion_rev_day, 15.72125391, 1e-6);
+}
+
+TEST(Tle, ParseRejectsBadChecksum) {
+  std::string bad{kIssL1};
+  bad[68] = '0';  // corrupt the checksum digit
+  EXPECT_FALSE(parse_tle(bad, kIssL2).has_value());
+}
+
+TEST(Tle, ParseRejectsShortLines) {
+  EXPECT_FALSE(parse_tle("1 25544", kIssL2).has_value());
+}
+
+TEST(Tle, ParseRejectsSwappedLines) {
+  EXPECT_FALSE(parse_tle(kIssL2, kIssL1).has_value());
+}
+
+TEST(Tle, ToCircularAltitude) {
+  const auto t = parse_tle(kIssL1, kIssL2);
+  ASSERT_TRUE(t.has_value());
+  const auto e = t->to_circular();
+  // The ISS orbits around 350-420 km altitude.
+  const double alt = e.semi_major_axis_km - util::kEarthRadiusKm;
+  EXPECT_GT(alt, 300.0);
+  EXPECT_LT(alt, 450.0);
+  EXPECT_NEAR(e.inclination_rad, util::deg2rad(51.6416), 1e-6);
+}
+
+TEST(Tle, FormatRoundTrip) {
+  Tle t;
+  t.name = "STARCDN-TEST";
+  t.catalog_number = 90001;
+  t.inclination_deg = 53.0;
+  t.raan_deg = 123.4567;
+  t.eccentricity = 0.0001234;
+  t.arg_perigee_deg = 90.0;
+  t.mean_anomaly_deg = 45.5;
+  t.mean_motion_rev_day = 15.05;
+
+  const std::string text = format_tle(t);
+  const auto parsed = parse_tle_file(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "STARCDN-TEST");
+  EXPECT_EQ(parsed[0].catalog_number, 90001);
+  EXPECT_NEAR(parsed[0].inclination_deg, 53.0, 1e-3);
+  EXPECT_NEAR(parsed[0].raan_deg, 123.4567, 1e-3);
+  EXPECT_NEAR(parsed[0].eccentricity, 0.0001234, 1e-7);
+  EXPECT_NEAR(parsed[0].mean_motion_rev_day, 15.05, 1e-6);
+}
+
+TEST(Tle, ParseFileSkipsMalformedEntries) {
+  std::string text = std::string("GOOD\n") + kIssL1 + "\n" + kIssL2 + "\n" +
+                     "BAD\n1 corrupted line\n2 also corrupted\n";
+  const auto parsed = parse_tle_file(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "GOOD");
+}
+
+TEST(Tle, ParseFileHandlesMissingNames) {
+  const std::string text = std::string(kIssL1) + "\n" + kIssL2 + "\n";
+  const auto parsed = parse_tle_file(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed[0].name.empty());
+}
+
+}  // namespace
+}  // namespace starcdn::orbit

@@ -1,0 +1,94 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace starcdn::trace {
+namespace {
+
+LocationTrace sample_trace() {
+  LocationTrace t;
+  t.location = 3;
+  t.location_name = "Vienna";
+  for (int i = 0; i < 500; ++i) {
+    t.requests.push_back(
+        {i * 0.25, static_cast<ObjectId>(i % 37), 1000u + i, 3});
+  }
+  return t;
+}
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string path(const char* ext) const {
+    return (std::filesystem::temp_directory_path() /
+            (std::string("starcdn_trace_test.") + ext))
+        .string();
+  }
+  void TearDown() override {
+    std::remove(path("bin").c_str());
+    std::remove(path("csv").c_str());
+  }
+};
+
+TEST_F(TraceIoTest, BinaryRoundTrip) {
+  const auto original = sample_trace();
+  write_binary(original, path("bin"));
+  const auto loaded = read_binary(path("bin"));
+  EXPECT_EQ(loaded.location, original.location);
+  EXPECT_EQ(loaded.location_name, original.location_name);
+  ASSERT_EQ(loaded.requests.size(), original.requests.size());
+  for (std::size_t i = 0; i < loaded.requests.size(); ++i) {
+    EXPECT_EQ(loaded.requests[i].timestamp_s, original.requests[i].timestamp_s);
+    EXPECT_EQ(loaded.requests[i].object, original.requests[i].object);
+    EXPECT_EQ(loaded.requests[i].size, original.requests[i].size);
+    EXPECT_EQ(loaded.requests[i].location, original.requests[i].location);
+  }
+  EXPECT_EQ(loaded.total_bytes(), original.total_bytes());
+}
+
+TEST_F(TraceIoTest, CsvRoundTrip) {
+  const auto original = sample_trace();
+  write_csv(original, path("csv"));
+  const auto loaded = read_csv_trace(path("csv"));
+  ASSERT_EQ(loaded.requests.size(), original.requests.size());
+  EXPECT_EQ(loaded.requests[7].object, original.requests[7].object);
+  EXPECT_EQ(loaded.requests[7].size, original.requests[7].size);
+  EXPECT_EQ(loaded.location, 3);
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrip) {
+  LocationTrace empty;
+  empty.location_name = "nowhere";
+  write_binary(empty, path("bin"));
+  const auto loaded = read_binary(path("bin"));
+  EXPECT_TRUE(loaded.requests.empty());
+  EXPECT_EQ(loaded.location_name, "nowhere");
+}
+
+TEST_F(TraceIoTest, BadMagicRejected) {
+  {
+    std::ofstream out(path("bin"), std::ios::binary);
+    out << "NOTATRACEFILE....";
+  }
+  EXPECT_THROW((void)read_binary(path("bin")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncatedFileRejected) {
+  write_binary(sample_trace(), path("bin"));
+  // Truncate mid-record.
+  std::filesystem::resize_file(path("bin"), 64);
+  EXPECT_THROW((void)read_binary(path("bin")), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFilesThrow) {
+  EXPECT_THROW((void)read_binary("/nonexistent/trace.bin"),
+               std::runtime_error);
+  EXPECT_THROW(write_binary({}, "/nonexistent/dir/trace.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace starcdn::trace

@@ -1,0 +1,94 @@
+#include "orbit/visibility.h"
+
+#include <gtest/gtest.h>
+
+#include "orbit/propagator.h"
+#include "util/geo.h"
+
+namespace starcdn::orbit {
+namespace {
+
+TEST(Visibility, OverheadSatelliteIsAtNinetyDegrees) {
+  const Vec3 ground = geodetic_to_ecef({10.0, 20.0});
+  const Vec3 sat = geodetic_to_ecef({10.0, 20.0}, 550.0);
+  EXPECT_NEAR(elevation_deg(ground, sat), 90.0, 1e-6);
+}
+
+TEST(Visibility, HorizonSatelliteIsNearZero) {
+  // A satellite whose ground point is at the geometric horizon distance for
+  // 550 km altitude (~26 degrees of arc) sits near 0 elevation.
+  const Vec3 ground = geodetic_to_ecef({0.0, 0.0});
+  const Vec3 sat = geodetic_to_ecef({0.0, 23.9}, 550.0);
+  EXPECT_NEAR(elevation_deg(ground, sat), 0.0, 1.5);
+}
+
+TEST(Visibility, AntipodalSatelliteIsBelowHorizon) {
+  const Vec3 ground = geodetic_to_ecef({0.0, 0.0});
+  const Vec3 sat = geodetic_to_ecef({0.0, 180.0}, 550.0);
+  EXPECT_LT(elevation_deg(ground, sat), -80.0);
+}
+
+TEST(Visibility, SlantRangeOverhead) {
+  const Vec3 ground = geodetic_to_ecef({45.0, 45.0});
+  const Vec3 sat = geodetic_to_ecef({45.0, 45.0}, 550.0);
+  EXPECT_NEAR(slant_range_km(ground, sat), 550.0, 1e-6);
+}
+
+class VisibilityLatitudeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(VisibilityLatitudeTest, MidLatitudeUsersSeeManySatellites) {
+  // The paper relies on Starlink users seeing 10+ satellites (§3.1.2);
+  // at the shell's inclination band the full 72x18 shell provides that.
+  const Constellation shell{WalkerParams{}};
+  const VisibilityOracle oracle(25.0);
+  const util::GeoCoord user{GetParam(), -74.0};
+  const auto pos = shell.all_positions_ecef(0.0);
+  const auto visible = oracle.visible(user, shell, pos);
+  EXPECT_GE(visible.size(), 3u) << "latitude " << GetParam();
+  // Sorted by elevation descending.
+  for (std::size_t i = 1; i < visible.size(); ++i) {
+    EXPECT_LE(visible[i].elevation_deg, visible[i - 1].elevation_deg);
+  }
+  for (const auto& v : visible) {
+    EXPECT_GE(v.elevation_deg, 25.0);
+    EXPECT_GT(v.range_km, 540.0);
+    EXPECT_LT(v.range_km, 1'500.0);  // 25-degree mask bounds the range
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Latitudes, VisibilityLatitudeTest,
+                         ::testing::Values(0.0, 19.4, 33.7, 41.0, 48.2, 51.5));
+
+TEST(Visibility, PolarUserSeesNothingFromInclinedShell) {
+  // A 53-degree shell never covers the poles at a 25-degree mask.
+  const Constellation shell{WalkerParams{}};
+  const VisibilityOracle oracle(25.0);
+  const auto pos = shell.all_positions_ecef(0.0);
+  EXPECT_TRUE(oracle.visible({89.0, 0.0}, shell, pos).empty());
+}
+
+TEST(Visibility, InactiveSatellitesExcluded) {
+  Constellation shell{WalkerParams{}};
+  const VisibilityOracle oracle(25.0);
+  const util::GeoCoord user{40.7, -74.0};
+  const auto pos = shell.all_positions_ecef(0.0);
+  const auto before = oracle.visible(user, shell, pos);
+  ASSERT_FALSE(before.empty());
+  shell.set_active(shell.id_of(before.front().sat_index), false);
+  const auto after = oracle.visible(user, shell, pos);
+  for (const auto& v : after) {
+    EXPECT_NE(v.sat_index, before.front().sat_index);
+  }
+}
+
+TEST(Visibility, HigherMaskSeesFewer) {
+  const Constellation shell{WalkerParams{}};
+  const auto pos = shell.all_positions_ecef(0.0);
+  const util::GeoCoord user{40.7, -74.0};
+  const auto lo = VisibilityOracle(25.0).visible(user, shell, pos);
+  const auto hi = VisibilityOracle(50.0).visible(user, shell, pos);
+  EXPECT_LE(hi.size(), lo.size());
+}
+
+}  // namespace
+}  // namespace starcdn::orbit

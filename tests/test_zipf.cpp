@@ -1,0 +1,72 @@
+#include "trace/zipf.h"
+
+#include <gtest/gtest.h>
+
+namespace starcdn::trace {
+namespace {
+
+TEST(Zipf, PmfSumsToOneAndDecreases) {
+  const ZipfSampler z(1'000, 1.0);
+  double total = 0.0;
+  double prev = 1.0;
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    const double p = z.pmf(k);
+    EXPECT_LE(p, prev + 1e-15);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(z.pmf(5'000), 0.0);
+}
+
+TEST(Zipf, HeadDominatesForLargeAlpha) {
+  const ZipfSampler z(100'000, 1.2);
+  // Top 100 ranks should hold a large share of mass at alpha 1.2.
+  double head = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) head += z.pmf(k);
+  EXPECT_GT(head, 0.5);
+}
+
+TEST(Zipf, SampleMatchesPmf) {
+  const ZipfSampler z(50, 0.8);
+  util::Rng rng(3);
+  std::vector<int> counts(50, 0);
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(kN), z.pmf(k),
+                0.02 * z.pmf(0) + 0.002);
+  }
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  const ZipfSampler z(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_NEAR(z.pmf(k), 0.1, 1e-12);
+}
+
+TEST(Zipf, EmptyThrows) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(DiscreteSampler, RespectsWeights) {
+  const DiscreteSampler s({1.0, 0.0, 3.0});
+  util::Rng rng(4);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40'000; ++i) ++counts[s.sample(rng)];
+  EXPECT_NEAR(counts[0], 10'000, 500);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2], 30'000, 500);
+}
+
+TEST(DiscreteSampler, NegativeWeightsClampToZero) {
+  const DiscreteSampler s({-5.0, 2.0});
+  util::Rng rng(5);
+  for (int i = 0; i < 1'000; ++i) EXPECT_EQ(s.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, AllZeroThrows) {
+  EXPECT_THROW(DiscreteSampler({0.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace starcdn::trace
