@@ -6,19 +6,37 @@
 // each output to the paper's numbers.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/simulator.h"
 #include "orbit/constellation.h"
 #include "sched/scheduler.h"
 #include "trace/workload.h"
 #include "util/geo.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace starcdn::bench {
+
+/// Wall-clock stopwatch for reporting bench phase timings.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+  void reset() noexcept { start_ = Clock::now(); }
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
 
 /// Directory for CSV dumps; created on demand, failures ignored.
 inline std::string results_dir() {
@@ -81,6 +99,27 @@ capacity_axis() {
       {"60", util::gib(8)},  {"80", util::gib(16)}, {"100", util::gib(32)},
   };
   return axis;
+}
+
+/// Run `point_fn(label, capacity)` for every capacity_axis() entry and
+/// return the results in axis order. Points run concurrently (each one
+/// populates its own Simulator and caches, so they share nothing mutable)
+/// on the global pool; results land in pre-sized per-point slots, keeping
+/// the sweep's output identical to a serial run. The per-point wall time
+/// of the whole sweep is printed for the bench log.
+template <typename Fn>
+auto sweep_capacity_axis(const char* what, Fn&& point_fn) {
+  const auto& axis = capacity_axis();
+  using Result = decltype(point_fn(std::string{}, util::Bytes{}));
+  std::vector<Result> out(axis.size());
+  WallTimer timer;
+  util::parallel_for(axis.size(), [&](std::size_t i) {
+    out[i] = point_fn(axis[i].first, axis[i].second);
+  });
+  std::printf("sweep[%s]: %zu points in %.2f s (%d thread%s)\n", what,
+              axis.size(), timer.seconds(), util::parallel_threads(),
+              util::parallel_threads() == 1 ? "" : "s");
+  return out;
 }
 
 }  // namespace starcdn::bench

@@ -25,22 +25,30 @@ int main() {
                                names[3], names[4]});
     util::TextTable bhr_table({"Cache(GB)", names[0], names[1], names[2],
                                names[3], names[4]});
-    for (const auto& [label, capacity] : bench::capacity_axis()) {
-      core::SimConfig cfg;
-      cfg.cache_capacity = capacity;
-      cfg.buckets = buckets;
-      cfg.sample_latency = false;
-      core::Simulator sim(*scenario.shell, *scenario.schedule, cfg);
-      for (const auto v : order) sim.add_variant(v);
-      sim.run(scenario.requests);
+    struct Rows {
+      std::vector<std::string> rhr, bhr;
+    };
+    const auto points = bench::sweep_capacity_axis(
+        ("fig7 L=" + std::to_string(buckets)).c_str(),
+        [&](const std::string& label, util::Bytes capacity) {
+          core::SimConfig cfg;
+          cfg.cache_capacity = capacity;
+          cfg.buckets = buckets;
+          cfg.sample_latency = false;
+          core::Simulator sim(*scenario.shell, *scenario.schedule, cfg);
+          for (const auto v : order) sim.add_variant(v);
+          sim.run(scenario.requests);
 
-      std::vector<std::string> rhr_row{label}, bhr_row{label};
-      for (const auto v : order) {
-        rhr_row.push_back(util::fmt_pct(sim.metrics(v).request_hit_rate()));
-        bhr_row.push_back(util::fmt_pct(sim.metrics(v).byte_hit_rate()));
-      }
-      rhr_table.add_row(std::move(rhr_row));
-      bhr_table.add_row(std::move(bhr_row));
+          Rows rows{{label}, {label}};
+          for (const auto v : order) {
+            rows.rhr.push_back(util::fmt_pct(sim.metrics(v).request_hit_rate()));
+            rows.bhr.push_back(util::fmt_pct(sim.metrics(v).byte_hit_rate()));
+          }
+          return rows;
+        });
+    for (auto& rows : points) {
+      rhr_table.add_row(std::move(rows.rhr));
+      bhr_table.add_row(std::move(rows.bhr));
     }
     const std::string suffix = "L" + std::to_string(buckets);
     rhr_table.print(std::cout, "Fig. 7 request hit rate, L=" +

@@ -14,20 +14,22 @@ int main() {
                                             core::Variant::kStarCdn};
   util::TextTable table({"Cache(GB)", "LRU", "StarCDN-Hashing",
                          "StarCDN-Fetch", "StarCDN"});
-  for (const auto& [label, capacity] : bench::capacity_axis()) {
-    core::SimConfig cfg;
-    cfg.cache_capacity = capacity;
-    cfg.buckets = 9;
-    cfg.sample_latency = false;
-    core::Simulator sim(*scenario.shell, *scenario.schedule, cfg);
-    for (const auto v : order) sim.add_variant(v);
-    sim.run(scenario.requests);
-    std::vector<std::string> row{label};
-    for (const auto v : order) {
-      row.push_back(util::fmt_pct(sim.metrics(v).normalized_uplink()));
-    }
-    table.add_row(std::move(row));
-  }
+  auto rows = bench::sweep_capacity_axis(
+      "fig8", [&](const std::string& label, util::Bytes capacity) {
+        core::SimConfig cfg;
+        cfg.cache_capacity = capacity;
+        cfg.buckets = 9;
+        cfg.sample_latency = false;
+        core::Simulator sim(*scenario.shell, *scenario.schedule, cfg);
+        for (const auto v : order) sim.add_variant(v);
+        sim.run(scenario.requests);
+        std::vector<std::string> row{label};
+        for (const auto v : order) {
+          row.push_back(util::fmt_pct(sim.metrics(v).normalized_uplink()));
+        }
+        return row;
+      });
+  for (auto& row : rows) table.add_row(std::move(row));
   table.print(std::cout, "Fig. 8: uplink usage (% of no-cache Starlink)");
   table.write_csv(bench::results_dir() + "/fig8_uplink.csv");
   {

@@ -1,17 +1,27 @@
 // Microbenchmarks (google-benchmark): throughput of the hot paths — cache
 // operations, bucket hashing, orbital propagation, visibility, codec, and
-// the SpaceGEN byte stack.
+// the SpaceGEN byte stack — plus a serial-vs-parallel speedup report for
+// the deterministic parallel engine (printed before the gbench table).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
 
 #include "cache/cache.h"
 #include "core/bucket_mapper.h"
+#include "core/simulator.h"
 #include "net/codec.h"
 #include "orbit/constellation.h"
 #include "orbit/visibility.h"
+#include "sched/scheduler.h"
 #include "trace/bytestack.h"
+#include "trace/workload.h"
 #include "util/geo.h"
 #include "util/hash.h"
+#include "util/parallel.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace {
 
@@ -115,6 +125,93 @@ void BM_Splitmix(benchmark::State& state) {
 }
 BENCHMARK(BM_Splitmix);
 
+void BM_ParallelForOverhead(benchmark::State& state) {
+  // Fork-join cost of an (almost) empty loop at the configured width.
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::uint64_t sink = 0;
+    util::parallel_for(
+        1024, [&sink](std::size_t i) { benchmark::DoNotOptimize(sink += i); },
+        threads);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4);
+
+double time_s(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Serial-vs-parallel wall-clock comparison for the two parallelized hot
+/// paths: LinkSchedule construction (fan-out over epochs) and a 4-variant
+/// Simulator::run (fan-out over variants). Both paths are bitwise
+/// deterministic for any thread count (see tests/test_determinism.cpp), so
+/// the speedup is free accuracy-wise. Numbers are recorded in
+/// EXPERIMENTS.md ("parallel engine").
+void report_parallel_speedup() {
+  const int threads = util::parallel_threads();
+  std::printf("\n=== parallel engine speedup (STARCDN_THREADS=%d) ===\n",
+              threads);
+
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  const double horizon_s = 2 * util::kHour;  // 480 epochs x 1,296 slots
+
+  auto build_schedule = [&](int n) {
+    util::set_parallel_threads(n);
+    const double s = time_s([&] {
+      const sched::LinkSchedule schedule(shell, util::paper_cities(),
+                                         horizon_s);
+      benchmark::DoNotOptimize(&schedule);
+    });
+    util::set_parallel_threads(0);
+    return s;
+  };
+  const double sched_serial = build_schedule(1);
+  const double sched_parallel = build_schedule(threads);
+  std::printf("LinkSchedule(2h, 9 cities): serial %.3f s, parallel %.3f s, "
+              "speedup %.2fx\n",
+              sched_serial, sched_parallel, sched_serial / sched_parallel);
+
+  auto p = trace::default_params(trace::TrafficClass::kVideo);
+  p.object_count = 50'000;
+  p.requests_per_weight = 40'000;
+  p.duration_s = horizon_s;
+  const trace::WorkloadModel workload(util::paper_cities(), p);
+  const auto requests = trace::merge_by_time(workload.generate());
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), horizon_s);
+
+  auto simulate = [&](int n) {
+    util::set_parallel_threads(n);
+    core::SimConfig cfg;
+    cfg.cache_capacity = util::mib(512);
+    core::Simulator sim(shell, schedule, cfg);
+    for (const auto v :
+         {core::Variant::kStarCdn, core::Variant::kHashOnly,
+          core::Variant::kRelayOnly, core::Variant::kVanillaLru}) {
+      sim.add_variant(v);
+    }
+    const double s = time_s([&] { sim.run(requests); });
+    util::set_parallel_threads(0);
+    return s;
+  };
+  const double sim_serial = simulate(1);
+  const double sim_parallel = simulate(threads);
+  std::printf("Simulator::run(4 variants, %zu requests): serial %.3f s, "
+              "parallel %.3f s, speedup %.2fx\n\n",
+              requests.size(), sim_serial, sim_parallel,
+              sim_serial / sim_parallel);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  report_parallel_speedup();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,7 +30,9 @@ BucketMapper::BucketMapper(const orbit::Constellation& constellation,
     throw std::invalid_argument(
         "BucketMapper: bucket count must be a positive perfect square");
   }
-  remap_cache_.assign(static_cast<std::size_t>(constellation.size()), -2);
+  remap_cache_ =
+      std::vector<std::atomic<int>>(static_cast<std::size_t>(constellation.size()));
+  for (auto& entry : remap_cache_) entry.store(-2, std::memory_order_relaxed);
 }
 
 int BucketMapper::bucket_of_object(cache::ObjectId id) const noexcept {
@@ -64,13 +66,14 @@ std::optional<orbit::SatelliteId> BucketMapper::remap(
     orbit::SatelliteId nominal) const {
   const auto& c = *constellation_;
   const int idx = c.index_of(nominal);
-  int& cached = remap_cache_[static_cast<std::size_t>(idx)];
+  std::atomic<int>& slot = remap_cache_[static_cast<std::size_t>(idx)];
+  const int cached = slot.load(std::memory_order_relaxed);
   if (cached != -2) {
     if (cached == -1) return std::nullopt;
     return c.id_of(cached);
   }
   if (c.active(idx)) {
-    cached = idx;
+    slot.store(idx, std::memory_order_relaxed);
     return nominal;
   }
   // Ring search by grid distance; deterministic scan order so every
@@ -87,13 +90,13 @@ std::optional<orbit::SatelliteId> BucketMapper::remap(
                                            c.slots_per_plane())};
         const int cidx = c.index_of(cand);
         if (c.active(cidx)) {
-          cached = cidx;
+          slot.store(cidx, std::memory_order_relaxed);
           return cand;
         }
       }
     }
   }
-  cached = -1;
+  slot.store(-1, std::memory_order_relaxed);
   return std::nullopt;
 }
 

@@ -12,6 +12,7 @@
 // multiple buckets (§3.4, evaluated in Fig. 11).
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <vector>
 
@@ -74,9 +75,10 @@ class BucketMapper {
   int side_;
   // Memoized remap targets (linear index -> remapped index; -2 unknown,
   // -1 unreachable). The topology is fixed for the mapper's lifetime, so
-  // entries never invalidate. Lazily filled => not thread-safe; each
-  // simulation owns its mapper.
-  mutable std::vector<int> remap_cache_;
+  // entries never invalidate. Each entry is a relaxed atomic: the value is
+  // a pure function of the topology, so concurrent fills (e.g. variant
+  // threads in Simulator::run) can only ever race to write the same value.
+  mutable std::vector<std::atomic<int>> remap_cache_;
 };
 
 }  // namespace starcdn::core

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/hash.h"
+#include "util/parallel.h"
 
 namespace starcdn::core {
 
@@ -25,10 +26,7 @@ Simulator::Simulator(const orbit::Constellation& constellation,
       schedule_(&schedule),
       config_(config),
       mapper_(constellation, config.buckets),
-      latency_(latency_params),
-      transient_(config.transient_down_prob, config.transient_window_s,
-                 config.seed ^ 0xfa11u),
-      rng_(config.seed) {}
+      latency_(latency_params) {}
 
 void Simulator::add_variant(Variant v) {
   for (const auto& vs : variants_) {
@@ -36,6 +34,17 @@ void Simulator::add_variant(Variant v) {
   }
   VariantState vs;
   vs.variant = v;
+  // Per-variant deterministic streams. The transient model is seeded
+  // identically for every variant so they all observe the same outage
+  // schedule; the latency-sampling RNG is variant-specific so streams stay
+  // independent when variants replay concurrently. A variant registered
+  // mid-stream picks up the shared request-counter position.
+  vs.transient = TransientFailureModel(config_.transient_down_prob,
+                                       config_.transient_window_s,
+                                       config_.seed ^ 0xfa11u);
+  vs.rng = util::Rng(config_.seed ^ static_cast<std::uint64_t>(v));
+  vs.request_counter =
+      variants_.empty() ? 0 : variants_.front().request_counter;
   vs.caches.resize(static_cast<std::size_t>(constellation_->size()));
   if (v == Variant::kPrefetch) {
     vs.prefetch_epoch.assign(static_cast<std::size_t>(constellation_->size()),
@@ -77,24 +86,59 @@ void Simulator::note_sat(VariantState& vs, int sat_index,
 }
 
 void Simulator::run(const std::vector<trace::Request>& requests) {
-  for (const trace::Request& r : requests) {
-    const std::size_t epoch = schedule_->epoch_of(r.timestamp_s);
+  if (variants_.empty() || requests.empty()) return;
+
+  // Stage 1 — shared per-request context, hoisted out of the variant loop:
+  // the scheduler epoch, the issuing user terminal, and the first-contact
+  // lookup (once for the real epoch and once for epoch 0 when a kStatic
+  // variant is registered, instead of once per variant). Each slot is a
+  // pure function of the request index, so this fans out over requests.
+  struct RequestContext {
+    std::size_t epoch = 0;
+    sched::Candidate fc;         // first contact at the real epoch
+    sched::Candidate fc_static;  // first contact at the frozen epoch 0
+  };
+  bool need_static = false;
+  for (const auto& vs : variants_) {
+    need_static = need_static || vs.variant == Variant::kStatic;
+  }
+  // All variant counters advance in lockstep; any of them anchors the
+  // user-terminal rotation for this chunk of the stream.
+  const std::uint64_t counter_base = variants_.front().request_counter;
+  const auto users_per_city =
+      static_cast<std::uint64_t>(schedule_->params().users_per_city);
+  std::vector<RequestContext> ctx(requests.size());
+  util::parallel_for(requests.size(), [&](std::size_t i) {
+    const trace::Request& r = requests[i];
+    RequestContext& c = ctx[i];
+    c.epoch = schedule_->epoch_of(r.timestamp_s);
     // Logical user terminal issuing this request: rotates through the
     // city's population so an epoch's requests spread over the candidate
     // satellites exactly as CosmicBeats splits them (§5.1).
     const std::uint64_t user =
-        util::splitmix64(request_counter_++) %
-        static_cast<std::uint64_t>(schedule_->params().users_per_city);
-    for (auto& vs : variants_) {
-      const std::size_t sched_epoch =
-          vs.variant == Variant::kStatic ? 0 : epoch;
-      const sched::Candidate fc =
-          schedule_->first_contact(sched_epoch, r.location, user);
-      process(vs, r, sched_epoch, epoch, fc);
+        util::splitmix64(counter_base + i) % users_per_city;
+    c.fc = schedule_->first_contact(c.epoch, r.location, user);
+    if (need_static) {
+      c.fc_static = schedule_->first_contact(0, r.location, user);
     }
-  }
-  // Fold the trailing epoch's uplink accumulation into the statistics.
-  for (auto& vs : variants_) vs.metrics.uplink_meter.flush();
+  });
+
+  // Stage 2 — one worker per variant. Each VariantState is self-contained
+  // (caches, metrics, RNG, transient model, counter), and requests within a
+  // variant replay strictly in trace order, so metrics are bitwise
+  // identical for any thread count.
+  util::parallel_for(variants_.size(), [&](std::size_t vi) {
+    VariantState& vs = variants_[vi];
+    const bool is_static = vs.variant == Variant::kStatic;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ++vs.request_counter;
+      const std::size_t sched_epoch = is_static ? 0 : ctx[i].epoch;
+      process(vs, requests[i], sched_epoch, ctx[i].epoch,
+              is_static ? ctx[i].fc_static : ctx[i].fc);
+    }
+    // Fold the trailing epoch's uplink accumulation into the statistics.
+    vs.metrics.uplink_meter.flush();
+  });
 }
 
 void Simulator::maybe_prefetch(VariantState& vs, int serving_idx,
@@ -138,7 +182,7 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
     ++m.misses;
     m.uplink_bytes += r.size;
     if (config_.sample_latency) {
-      m.latency_ms.add(latency_.bentpipe_starlink(latency_.params().default_gsl_ms, rng_));
+      m.latency_ms.add(latency_.bentpipe_starlink(latency_.params().default_gsl_ms, vs.rng));
     }
     return;
   }
@@ -164,14 +208,14 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
 
   // Transient cache-server outage (§3.4): report a miss and go to ground;
   // nothing is cached and no remapping happens.
-  if (transient_.down(serving_idx, r.timestamp_s)) {
+  if (vs.transient.down(serving_idx, r.timestamp_s)) {
     ++vs.metrics.transient_misses;
     ++m.misses;
     m.uplink_bytes += r.size;
     m.uplink_meter.add(serving_idx, real_epoch, r.size);
     if (config_.sample_latency) {
       m.latency_ms.add(latency_.miss(gsl_ms, route_ms,
-                                     latency_.params().default_gsl_ms, rng_));
+                                     latency_.params().default_gsl_ms, vs.rng));
     }
     return;
   }
@@ -277,7 +321,7 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
   serving_cache.admit(r.object, r.size);
   if (config_.sample_latency) {
     m.latency_ms.add(latency_.miss(gsl_ms, route_ms,
-                                   latency_.params().default_gsl_ms, rng_));
+                                   latency_.params().default_gsl_ms, vs.rng));
   }
 }
 

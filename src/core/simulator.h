@@ -74,6 +74,11 @@ class Simulator {
 
   /// Replay requests (must be time-ordered, e.g. trace::merge_by_time).
   /// May be called repeatedly to stream a long trace in chunks.
+  ///
+  /// Variants replay concurrently (one worker per VariantState; see
+  /// util::parallel_for). Each variant owns its caches, metrics, RNG
+  /// stream (seeded config.seed ^ variant) and request counter, so the
+  /// resulting metrics are bitwise identical for any thread count.
   void run(const std::vector<trace::Request>& requests);
 
   [[nodiscard]] const VariantMetrics& metrics(Variant v) const;
@@ -85,11 +90,19 @@ class Simulator {
   [[nodiscard]] std::vector<int> buckets_served_per_satellite() const;
 
  private:
+  /// Everything a variant replay touches lives here, so each variant can
+  /// run on its own thread with no shared mutable state. The RNG stream is
+  /// derived from (config.seed, variant) and the request counter advances
+  /// in lockstep across variants, making results independent of both
+  /// thread count and which other variants are registered.
   struct VariantState {
     Variant variant;
     VariantMetrics metrics;
     std::vector<std::unique_ptr<cache::Cache>> caches;  // per satellite slot
     std::vector<std::uint32_t> prefetch_epoch;          // kPrefetch bookkeeping
+    TransientFailureModel transient{0.0};  // same outage schedule per variant
+    util::Rng rng;                         // latency sampling stream
+    std::uint64_t request_counter = 0;     // drives user-terminal rotation
   };
 
   void process(VariantState& vs, const trace::Request& r,
@@ -105,9 +118,6 @@ class Simulator {
   SimConfig config_;
   BucketMapper mapper_;
   net::LatencyModel latency_;
-  TransientFailureModel transient_;
-  util::Rng rng_;
-  std::uint64_t request_counter_ = 0;
   std::vector<VariantState> variants_;
 };
 

@@ -40,6 +40,7 @@ Constellation::Constellation(const WalkerParams& params) : params_(params) {
       elements_[static_cast<std::size_t>(index_of({p, s}))] = e;
     }
   }
+  recompute_max_radius();
 }
 
 Constellation::Constellation(const WalkerParams& grid_shape,
@@ -66,6 +67,15 @@ Constellation::Constellation(const WalkerParams& grid_shape,
     elements_[static_cast<std::size_t>(idx)] = e;
     active_[static_cast<std::size_t>(idx)] = true;
   }
+  recompute_max_radius();
+}
+
+void Constellation::recompute_max_radius() noexcept {
+  max_orbital_radius_km_ = 0.0;
+  for (const auto& e : elements_) {
+    max_orbital_radius_km_ = std::max(max_orbital_radius_km_,
+                                      e.semi_major_axis_km);
+  }
 }
 
 int Constellation::index_of(SatelliteId id) const noexcept {
@@ -81,8 +91,14 @@ int Constellation::active_count() const noexcept {
 }
 
 void Constellation::knock_out_random(double fraction, util::Rng& rng) {
-  const auto target = static_cast<std::size_t>(
-      std::llround(fraction * static_cast<double>(size())));
+  if (fraction <= 0.0) return;
+  // Clamp to the currently-active population: asking for more knockouts
+  // than there are active satellites (repeated calls, or a TLE-built shell
+  // with empty slots) must not spin the rejection loop forever.
+  const auto target = std::min(
+      static_cast<std::size_t>(
+          std::llround(fraction * static_cast<double>(size()))),
+      static_cast<std::size_t>(active_count()));
   std::size_t knocked = 0;
   while (knocked < target) {
     const auto idx = static_cast<std::size_t>(

@@ -80,6 +80,13 @@ class Constellation {
     return elements_[static_cast<std::size_t>(index_of(id))];
   }
 
+  /// Largest orbital radius (semi-major axis, km) over all slots; bounds the
+  /// slant range any satellite of this constellation can have at a given
+  /// elevation (used by VisibilityOracle's cheap reject).
+  [[nodiscard]] double max_orbital_radius_km() const noexcept {
+    return max_orbital_radius_km_;
+  }
+
   /// ECEF position of one satellite at time t (seconds past epoch).
   [[nodiscard]] Vec3 position_ecef(SatelliteId id, double t_s) const noexcept;
 
@@ -101,9 +108,12 @@ class Constellation {
   [[nodiscard]] int grid_hops(SatelliteId a, SatelliteId b) const noexcept;
 
  private:
+  void recompute_max_radius() noexcept;
+
   WalkerParams params_;
   std::vector<CircularElements> elements_;
   std::vector<bool> active_;
+  double max_orbital_radius_km_ = 0.0;
 };
 
 }  // namespace starcdn::orbit

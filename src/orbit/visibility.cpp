@@ -20,18 +20,41 @@ double slant_range_km(const Vec3& ground_ecef, const Vec3& sat_ecef) noexcept {
   return distance(ground_ecef, sat_ecef);
 }
 
+double horizon_slant_range_km(double orbit_radius_km, double ground_radius_km,
+                              double elevation_deg) noexcept {
+  const double el = util::deg2rad(elevation_deg);
+  const double rc = ground_radius_km * std::cos(el);
+  const double under = orbit_radius_km * orbit_radius_km - rc * rc;
+  if (under <= 0.0) return 0.0;  // orbit never clears the mask
+  return std::sqrt(under) - ground_radius_km * std::sin(el);
+}
+
 std::vector<VisibleSat> VisibilityOracle::visible(
     const util::GeoCoord& ground, const Constellation& constellation,
     const std::vector<Vec3>& sat_positions_ecef) const {
-  const Vec3 g = geodetic_to_ecef(ground);
+  return visible_from_ecef(geodetic_to_ecef(ground), constellation,
+                           sat_positions_ecef);
+}
+
+std::vector<VisibleSat> VisibilityOracle::visible_from_ecef(
+    const Vec3& ground_ecef, const Constellation& constellation,
+    const std::vector<Vec3>& sat_positions_ecef) const {
+  const Vec3& g = ground_ecef;
+  // Cheap reject: any satellite of this constellation whose slant range
+  // exceeds the horizon slant range at the mask — derived from the shell's
+  // actual orbital radius, so higher-altitude shells are never culled
+  // (at 550 km / 25 deg this is ~1,124 km) — is below the mask; skip the
+  // asin for those. +1 km absorbs floating-point slack.
+  const double reject_km =
+      horizon_slant_range_km(constellation.max_orbital_radius_km(), g.norm(),
+                             min_elevation_deg_) +
+      1.0;
   std::vector<VisibleSat> out;
   for (int i = 0; i < constellation.size(); ++i) {
     if (!constellation.active(i)) continue;
     const Vec3& s = sat_positions_ecef[static_cast<std::size_t>(i)];
-    // Cheap reject: a 550 km satellite more than ~2,600 km of slant range
-    // away is always below a 25-degree mask; skip the asin for those.
     const double range = slant_range_km(g, s);
-    if (range > 3500.0) continue;
+    if (range > reject_km) continue;
     const double el = elevation_deg(g, s);
     if (el >= min_elevation_deg_) {
       out.push_back({i, el, range});

@@ -24,6 +24,15 @@ namespace starcdn::orbit {
 [[nodiscard]] double slant_range_km(const Vec3& ground_ecef,
                                     const Vec3& sat_ecef) noexcept;
 
+/// Maximum slant range (km) at which a satellite on an orbit of radius
+/// `orbit_radius_km` can sit at or above `elevation_deg` as seen from a
+/// ground point `ground_radius_km` from the geocentre:
+///   sqrt(r^2 - (R cos el)^2) - R sin el.
+/// Any satellite farther away is guaranteed below the mask.
+[[nodiscard]] double horizon_slant_range_km(double orbit_radius_km,
+                                            double ground_radius_km,
+                                            double elevation_deg) noexcept;
+
 struct VisibleSat {
   int sat_index = 0;       // linear index into the constellation
   double elevation_deg = 0.0;
@@ -44,6 +53,14 @@ class VisibilityOracle {
   /// (best first-contact candidate first).
   [[nodiscard]] std::vector<VisibleSat> visible(
       const util::GeoCoord& ground, const Constellation& constellation,
+      const std::vector<Vec3>& sat_positions_ecef) const;
+
+  /// Same, from a precomputed ground ECEF point — callers scanning many
+  /// epochs for a fixed city should convert once and use this entry point.
+  /// (Named, not overloaded: {lat, lon} braces would be ambiguous with
+  /// GeoCoord otherwise.)
+  [[nodiscard]] std::vector<VisibleSat> visible_from_ecef(
+      const Vec3& ground_ecef, const Constellation& constellation,
       const std::vector<Vec3>& sat_positions_ecef) const;
 
  private:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/hash.h"
+#include "util/parallel.h"
 #include "util/units.h"
 
 namespace starcdn::sched {
@@ -16,15 +17,26 @@ LinkSchedule::LinkSchedule(const orbit::Constellation& constellation,
       std::max(1.0, std::ceil(duration_s / params.epoch_s)));
   table_.resize(epochs_ * n_cities_);
   const orbit::VisibilityOracle oracle(params.min_elevation_deg);
-  for (std::size_t e = 0; e < epochs_; ++e) {
-    const double t = static_cast<double>(e) * params.epoch_s;
+  // City ECEF points are epoch-invariant: convert once instead of inside
+  // every visibility scan.
+  std::vector<orbit::Vec3> city_ecef(n_cities_);
+  for (std::size_t c = 0; c < n_cities_; ++c) {
+    city_ecef[c] = orbit::geodetic_to_ecef(cities[c].coord);
+  }
+  // Epochs are independent: each worker propagates its epoch's satellite
+  // positions and fills that epoch's pre-sized table slots. Static chunking
+  // plus disjoint writes keep the table bitwise identical for any thread
+  // count.
+  util::parallel_for(epochs_, [&](std::size_t e) {
+    const double t = static_cast<double>(e) * params_.epoch_s;
     const auto positions = constellation.all_positions_ecef(t);
     for (std::size_t c = 0; c < n_cities_; ++c) {
-      const auto visible = oracle.visible(cities[c].coord, constellation,
-                                          positions);
+      const auto visible = oracle.visible_from_ecef(city_ecef[c],
+                                                    constellation, positions);
       auto& cell = table_[e * n_cities_ + c];
       const std::size_t k = std::min<std::size_t>(
-          visible.size(), static_cast<std::size_t>(params.candidates_per_cell));
+          visible.size(),
+          static_cast<std::size_t>(params_.candidates_per_cell));
       cell.reserve(k);
       for (std::size_t i = 0; i < k; ++i) {
         cell.push_back(
@@ -32,7 +44,7 @@ LinkSchedule::LinkSchedule(const orbit::Constellation& constellation,
              static_cast<float>(util::propagation_delay_ms(visible[i].range_km))});
       }
     }
-  }
+  });
 }
 
 std::size_t LinkSchedule::epoch_of(double t_s) const noexcept {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <numbers>
+
 #include "orbit/propagator.h"
 #include "util/geo.h"
 
@@ -79,6 +82,41 @@ TEST(Visibility, InactiveSatellitesExcluded) {
   for (const auto& v : after) {
     EXPECT_NE(v.sat_index, before.front().sat_index);
   }
+}
+
+TEST(Visibility, HorizonSlantRangeMatchesClosedForm) {
+  // 550 km shell, spherical ground, 25-degree mask:
+  //   sqrt(6921^2 - (6371 cos 25)^2) - 6371 sin 25 = 1123.3 km.
+  EXPECT_NEAR(horizon_slant_range_km(6921.0, 6371.0, 25.0), 1123.3, 1.0);
+  // At a 0-degree mask the bound degenerates to the geometric horizon
+  // distance sqrt(r^2 - R^2).
+  const double r = 6921.0, R = 6371.0;
+  EXPECT_NEAR(horizon_slant_range_km(r, R, 0.0),
+              std::sqrt(r * r - R * R), 1e-9);
+  // An orbit entirely below the mask cone can never be visible.
+  EXPECT_EQ(horizon_slant_range_km(5000.0, 6371.0, 25.0), 0.0);
+}
+
+TEST(Visibility, HighAltitudeShellIsNotCulledByCheapReject) {
+  // Regression for the old hardcoded 3,500 km cheap-reject radius: a
+  // satellite on a 2,500 km shell sitting at 30 degrees elevation and
+  // 3,600 km slant range is genuinely visible (the derived bound for that
+  // shell is ~3,761 km) but the old constant would have culled it.
+  const Constellation shell{WalkerParams{
+      .planes = 1, .slots_per_plane = 1, .altitude_km = 2500.0}};
+  const Vec3 g = geodetic_to_ecef({0.0, 0.0});
+  const Vec3 up = g.normalized();
+  const Vec3 tangent{0.0, 0.0, 1.0};  // perpendicular to `up` at the equator
+  const double el = 30.0 * std::numbers::pi / 180.0;
+  const double slant = 3600.0;
+  const Vec3 sat = g + (up * std::sin(el) + tangent * std::cos(el)) * slant;
+  ASSERT_NEAR(elevation_deg(g, sat), 30.0, 1e-6);
+
+  const VisibilityOracle oracle(25.0);
+  const auto seen = oracle.visible_from_ecef(g, shell, {sat});
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_NEAR(seen[0].range_km, slant, 1e-6);
+  EXPECT_NEAR(seen[0].elevation_deg, 30.0, 1e-6);
 }
 
 TEST(Visibility, HigherMaskSeesFewer) {
