@@ -43,6 +43,45 @@ void BM_CacheAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheAccess)->DenseRange(0, 5)->Unit(benchmark::kNanosecond);
 
+void BM_CacheEvictChurn(benchmark::State& state) {
+  // Eviction-heavy path: a flood of one-hit-wonder ids (random draws from a
+  // universe 1000x the cache) through a small cache, so nearly every access
+  // admits a new object and evicts a resident one. Exercises the slab free
+  // list and the index's backward-shift deletion.
+  const auto policy = static_cast<cache::Policy>(state.range(0));
+  const auto cache = cache::make_cache(
+      policy, util::mib(4), cache::presize_hint(util::mib(4), 4096));
+  util::Rng rng(3);
+  std::vector<cache::ObjectId> ids(1 << 16);
+  for (auto& id : ids) id = rng.below(1'048'576);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache->access(ids[i++ & (ids.size() - 1)], 4096));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(cache::to_string(policy));
+}
+BENCHMARK(BM_CacheEvictChurn)->DenseRange(0, 5)->Unit(benchmark::kNanosecond);
+
+void BM_CachePeekProbe(benchmark::State& state) {
+  // The relayed-fetch pattern: side-effect-free neighbour probes, ~75%
+  // absent — the index's negative-lookup fast path.
+  const auto policy = static_cast<cache::Policy>(state.range(0));
+  const auto cache = cache::make_cache(policy, util::mib(64));
+  for (cache::ObjectId id = 0; id < 16'384; ++id) cache->admit(id, 4096);
+  util::Rng rng(2);
+  std::vector<cache::ObjectId> ids(1 << 16);
+  for (auto& id : ids) id = rng.below(65'536);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache->peek(ids[i++ & (ids.size() - 1)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(cache::to_string(policy));
+}
+BENCHMARK(BM_CachePeekProbe)->DenseRange(0, 5)->Unit(benchmark::kNanosecond);
+
 void BM_BucketMapping(benchmark::State& state) {
   const orbit::Constellation shell{orbit::WalkerParams{}};
   const core::BucketMapper mapper(shell, static_cast<int>(state.range(0)));

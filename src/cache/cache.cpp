@@ -46,16 +46,27 @@ AccessResult Cache::access(ObjectId id, Bytes size) {
   return AccessResult::kMissInserted;
 }
 
-std::unique_ptr<Cache> make_cache(Policy policy, Bytes capacity) {
+std::size_t presize_hint(Bytes capacity, Bytes mean_object_size) noexcept {
+  if (mean_object_size == 0) return 0;
+  constexpr std::size_t kMaxPresize = std::size_t{1} << 20;
+  const Bytes n = capacity / mean_object_size;
+  return n < kMaxPresize ? static_cast<std::size_t>(n) : kMaxPresize;
+}
+
+std::unique_ptr<Cache> make_cache(Policy policy, Bytes capacity,
+                                  std::size_t expected_objects) {
+  std::unique_ptr<Cache> cache;
   switch (policy) {
-    case Policy::kLru: return std::make_unique<LruCache>(capacity);
-    case Policy::kLfu: return std::make_unique<LfuCache>(capacity);
-    case Policy::kFifo: return std::make_unique<FifoCache>(capacity);
-    case Policy::kSieve: return std::make_unique<SieveCache>(capacity);
-    case Policy::kSlru: return std::make_unique<SlruCache>(capacity);
-    case Policy::kGdsf: return std::make_unique<GdsfCache>(capacity);
+    case Policy::kLru: cache = std::make_unique<LruCache>(capacity); break;
+    case Policy::kLfu: cache = std::make_unique<LfuCache>(capacity); break;
+    case Policy::kFifo: cache = std::make_unique<FifoCache>(capacity); break;
+    case Policy::kSieve: cache = std::make_unique<SieveCache>(capacity); break;
+    case Policy::kSlru: cache = std::make_unique<SlruCache>(capacity); break;
+    case Policy::kGdsf: cache = std::make_unique<GdsfCache>(capacity); break;
   }
-  throw std::invalid_argument("make_cache: unknown policy");
+  if (!cache) throw std::invalid_argument("make_cache: unknown policy");
+  if (expected_objects) cache->reserve(expected_objects);
+  return cache;
 }
 
 }  // namespace starcdn::cache

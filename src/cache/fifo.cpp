@@ -5,35 +5,47 @@ namespace starcdn::cache {
 void FifoCache::admit(ObjectId id, Bytes size) {
   if (size > capacity() || index_.contains(id)) return;
   while (!list_.empty() && capacity() - used_bytes() < size) {
-    const Entry& victim = list_.back();
-    index_.erase(victim.id);
-    note_evict(victim.size);
-    list_.pop_back();
+    const std::uint32_t victim = list_.tail;
+    index_.erase(slab_[victim].id);
+    note_evict(slab_[victim].size);
+    list_.unlink(slab_, victim);
+    slab_.release(victim);
   }
-  list_.push_front({id, size});
-  index_.emplace(id, list_.begin());
+  const std::uint32_t s = slab_.allocate();
+  Entry& e = slab_[s];
+  e.id = id;
+  e.size = size;
+  list_.push_front(slab_, s);
+  index_.insert(id, s);
   note_admit(size);
 }
 
 void FifoCache::erase(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  note_erase(it->second->size);
-  list_.erase(it->second);
-  index_.erase(it);
+  const std::uint32_t s = index_.find(id);
+  if (s == detail::kNullSlot) return;
+  note_erase(slab_[s].size);
+  list_.unlink(slab_, s);
+  index_.erase(id);
+  slab_.release(s);
+}
+
+void FifoCache::reserve(std::size_t expected_objects) {
+  slab_.reserve(expected_objects);
+  index_.reserve(expected_objects);
 }
 
 std::vector<std::pair<ObjectId, Bytes>> FifoCache::hottest(
     std::size_t n) const {
   std::vector<std::pair<ObjectId, Bytes>> out;
-  for (const Entry& e : list_) {
-    if (out.size() >= n) break;
-    out.emplace_back(e.id, e.size);
+  for (std::uint32_t s = list_.head; s != detail::kNullSlot && out.size() < n;
+       s = slab_[s].next) {
+    out.emplace_back(slab_[s].id, slab_[s].size);
   }
   return out;
 }
 
 void FifoCache::clear() {
+  slab_.clear();
   list_.clear();
   index_.clear();
   reset_usage();

@@ -2,10 +2,9 @@
 // SIEVE builds on.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
 #include "cache/cache.h"
+#include "cache/detail/flat_index.h"
+#include "cache/detail/slab.h"
 
 namespace starcdn::cache {
 
@@ -20,6 +19,7 @@ class FifoCache final : public Cache {
   void admit(ObjectId id, Bytes size) override;
   void erase(ObjectId id) override;
   void clear() override;
+  void reserve(std::size_t expected_objects) override;
   [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
       std::size_t n) const override;
   [[nodiscard]] Policy policy() const noexcept override {
@@ -30,10 +30,12 @@ class FifoCache final : public Cache {
   struct Entry {
     ObjectId id;
     Bytes size;
+    std::uint32_t prev, next;
   };
 
-  std::list<Entry> list_;  // front = newest
-  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+  detail::Slab<Entry> slab_;
+  detail::IntrusiveList<Entry> list_;  // front = newest
+  detail::FlatIndex index_;
 };
 
 }  // namespace starcdn::cache

@@ -2,31 +2,28 @@
 
 namespace starcdn::cache {
 
-void GdsfCache::requeue(ObjectId id, Entry& e) {
+bool GdsfCache::touch(ObjectId id) {
+  const std::uint32_t s = index_.find(id);
+  if (s == detail::kNullSlot) return false;
+  Entry& e = slab_[s];
+  ++e.frequency;
   queue_.erase({e.utility, id});
   e.utility = utility_of(e);
-  queue_.emplace(std::pair{e.utility, id}, id);
-}
-
-bool GdsfCache::touch(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  ++it->second.frequency;
-  requeue(id, it->second);
+  queue_.emplace(std::pair{e.utility, id}, s);
   return true;
 }
 
 void GdsfCache::evict_until(Bytes needed) {
   while (!queue_.empty() && capacity() - used_bytes() < needed) {
     const auto victim_it = queue_.begin();
-    const ObjectId victim = victim_it->second;
+    const std::uint32_t s = victim_it->second;
     // The inflating clock: future admissions start from the last evicted
     // utility, so long-resident entries age out.
     clock_ = victim_it->first.first;
     queue_.erase(victim_it);
-    const auto idx = index_.find(victim);
-    note_evict(idx->second.size);
-    index_.erase(idx);
+    index_.erase(slab_[s].id);
+    note_evict(slab_[s].size);
+    slab_.release(s);
   }
 }
 
@@ -34,25 +31,34 @@ void GdsfCache::admit(ObjectId id, Bytes size) {
   if (size > capacity()) return;
   if (touch(id)) return;
   evict_until(size);
-  Entry e;
+  const std::uint32_t s = slab_.allocate();
+  Entry& e = slab_[s];
+  e.id = id;
   e.size = size;
   e.frequency = 1;
   e.utility = utility_of(e);
-  queue_.emplace(std::pair{e.utility, id}, id);
-  index_.emplace(id, e);
+  queue_.emplace(std::pair{e.utility, id}, s);
+  index_.insert(id, s);
   note_admit(size);
 }
 
 void GdsfCache::erase(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  queue_.erase({it->second.utility, id});
-  note_erase(it->second.size);
-  index_.erase(it);
+  const std::uint32_t s = index_.find(id);
+  if (s == detail::kNullSlot) return;
+  queue_.erase({slab_[s].utility, id});
+  note_erase(slab_[s].size);
+  index_.erase(id);
+  slab_.release(s);
+}
+
+void GdsfCache::reserve(std::size_t expected_objects) {
+  slab_.reserve(expected_objects);
+  index_.reserve(expected_objects);
 }
 
 void GdsfCache::clear() {
   queue_.clear();
+  slab_.clear();
   index_.clear();
   clock_ = 0.0;
   reset_usage();
@@ -63,7 +69,7 @@ std::vector<std::pair<ObjectId, Bytes>> GdsfCache::hottest(
   std::vector<std::pair<ObjectId, Bytes>> out;
   for (auto it = queue_.rbegin(); it != queue_.rend() && out.size() < n;
        ++it) {
-    out.emplace_back(it->second, index_.at(it->second).size);
+    out.emplace_back(slab_[it->second].id, slab_[it->second].size);
   }
   return out;
 }

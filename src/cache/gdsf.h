@@ -7,12 +7,19 @@
 // byte-vs-request hit-rate tension (§2.2's "various eviction policies have
 // different strengths"). Included as a size-aware alternative for StarCDN's
 // pluggable caching.
+//
+// The ordered utility queue is inherently a tree (eviction needs a global
+// minimum over float keys), but the per-object state moves onto the shared
+// slab + flat index: the queue maps (utility, id) -> slot, so an eviction
+// or requeue touches the arena instead of a second node-based map.
 #pragma once
 
+#include <algorithm>
 #include <map>
-#include <unordered_map>
 
 #include "cache/cache.h"
+#include "cache/detail/flat_index.h"
+#include "cache/detail/slab.h"
 
 namespace starcdn::cache {
 
@@ -27,6 +34,7 @@ class GdsfCache final : public Cache {
   void admit(ObjectId id, Bytes size) override;
   void erase(ObjectId id) override;
   void clear() override;
+  void reserve(std::size_t expected_objects) override;
   [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
       std::size_t n) const override;
   [[nodiscard]] Policy policy() const noexcept override {
@@ -38,22 +46,24 @@ class GdsfCache final : public Cache {
 
  private:
   struct Entry {
-    Bytes size = 0;
-    std::uint64_t frequency = 0;
-    double utility = 0.0;
+    ObjectId id;
+    Bytes size;
+    std::uint64_t frequency;
+    double utility;
+    std::uint32_t prev, next;  // slab free-list links (no intrusive order)
   };
 
   [[nodiscard]] double utility_of(const Entry& e) const noexcept {
     return clock_ + static_cast<double>(e.frequency) /
                         static_cast<double>(std::max<Bytes>(e.size, 1));
   }
-  void requeue(ObjectId id, Entry& e);
   void evict_until(Bytes needed);
 
   double clock_ = 0.0;
-  std::unordered_map<ObjectId, Entry> index_;
+  detail::Slab<Entry> slab_;
+  detail::FlatIndex index_;
   // Utility-ordered priority queue; (utility, id) keys are unique per entry.
-  std::map<std::pair<double, ObjectId>, ObjectId> queue_;
+  std::map<std::pair<double, ObjectId>, std::uint32_t> queue_;
 };
 
 }  // namespace starcdn::cache

@@ -21,8 +21,16 @@ void HashRing::add_server(std::uint32_t server_id) {
     return;
   }
   servers_.push_back(server_id);
+  ring_.reserve(ring_.size() + static_cast<std::size_t>(vnodes_));
   for (int r = 0; r < vnodes_; ++r) {
-    ring_.emplace(vnode_point(server_id, r), server_id);
+    const auto point = vnode_point(server_id, r);
+    const auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), point,
+        [](const Point& p, std::uint64_t v) { return p.point < v; });
+    // On a point collision the earlier-added server keeps the slot (the
+    // behaviour of the previous std::map emplace).
+    if (it != ring_.end() && it->point == point) continue;
+    ring_.insert(it, Point{point, server_id});
   }
 }
 
@@ -30,24 +38,18 @@ void HashRing::remove_server(std::uint32_t server_id) {
   const auto it = std::find(servers_.begin(), servers_.end(), server_id);
   if (it == servers_.end()) return;
   servers_.erase(it);
-  for (int r = 0; r < vnodes_; ++r) {
-    const auto point = vnode_point(server_id, r);
-    const auto range = ring_.equal_range(point);
-    for (auto rit = range.first; rit != range.second;) {
-      if (rit->second == server_id) {
-        rit = ring_.erase(rit);
-      } else {
-        ++rit;
-      }
-    }
-  }
+  std::erase_if(ring_, [server_id](const Point& p) {
+    return p.server == server_id;
+  });
 }
 
 std::uint32_t HashRing::owner(ObjectId object) const {
   const auto h = util::splitmix64(object);
-  auto it = ring_.lower_bound(h);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.point < v; });
   if (it == ring_.end()) it = ring_.begin();  // wrap around the circle
-  return it->second;
+  return it->server;
 }
 
 std::vector<std::uint32_t> HashRing::owners(ObjectId object,
@@ -56,11 +58,13 @@ std::vector<std::uint32_t> HashRing::owners(ObjectId object,
   if (ring_.empty()) return out;
   n = std::min(n, servers_.size());
   const auto h = util::splitmix64(object);
-  auto it = ring_.lower_bound(h);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.point < v; });
   while (out.size() < n) {
     if (it == ring_.end()) it = ring_.begin();
-    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
-      out.push_back(it->second);
+    if (std::find(out.begin(), out.end(), it->server) == out.end()) {
+      out.push_back(it->server);
     }
     ++it;
   }

@@ -3,11 +3,14 @@
 // (§2.2, §3.2). StarCDN replaces this with the grid bucket layout of
 // core/bucket_mapper.h; the ring is retained as the terrestrial baseline
 // and for contrast tests (balance, minimal remapping on churn).
+//
+// The ring is a sorted flat vector of (point, server) pairs: membership
+// changes re-sort once (rings are built once and queried millions of
+// times), and every lookup is a cache-friendly std::lower_bound instead of
+// a red-black-tree descent.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
 #include <vector>
 
 #include "cache/cache.h"
@@ -35,8 +38,13 @@ class HashRing {
                                                   std::size_t n) const;
 
  private:
+  struct Point {
+    std::uint64_t point;
+    std::uint32_t server;
+  };
+
   int vnodes_;
-  std::map<std::uint64_t, std::uint32_t> ring_;  // point -> server
+  std::vector<Point> ring_;  // sorted by point
   std::vector<std::uint32_t> servers_;
 };
 

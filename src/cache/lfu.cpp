@@ -2,34 +2,46 @@
 
 namespace starcdn::cache {
 
-void LfuCache::bump(const std::unordered_map<ObjectId, Locator>::iterator& it) {
-  Locator& loc = it->second;
-  const std::uint64_t next_freq = loc.node->freq + 1;
-  auto next_node = std::next(loc.node);
-  if (next_node == freq_list_.end() || next_node->freq != next_freq) {
-    next_node = freq_list_.insert(next_node, {next_freq, {}});
+void LfuCache::release_if_empty(std::uint32_t node_slot) {
+  if (!nodes_[node_slot].entries.empty()) return;
+  freq_list_.unlink(nodes_, node_slot);
+  nodes_.release(node_slot);
+}
+
+void LfuCache::bump(std::uint32_t entry_slot) {
+  Entry& e = slab_[entry_slot];
+  const std::uint32_t cur = e.node;
+  const std::uint64_t next_freq = nodes_[cur].freq + 1;
+  std::uint32_t next = nodes_[cur].next;
+  if (next == detail::kNullSlot || nodes_[next].freq != next_freq) {
+    next = nodes_.allocate();
+    FreqNode& n = nodes_[next];
+    n.freq = next_freq;
+    n.entries.clear();
+    freq_list_.insert_after(nodes_, cur, next);
   }
-  next_node->entries.splice(next_node->entries.begin(), loc.node->entries,
-                            loc.entry);
-  if (loc.node->entries.empty()) freq_list_.erase(loc.node);
-  loc.node = next_node;
+  nodes_[cur].entries.unlink(slab_, entry_slot);
+  nodes_[next].entries.push_front(slab_, entry_slot);
+  e.node = next;
+  release_if_empty(cur);
 }
 
 bool LfuCache::touch(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  bump(it);
+  const std::uint32_t s = index_.find(id);
+  if (s == detail::kNullSlot) return false;
+  bump(s);
   return true;
 }
 
 void LfuCache::evict_until(Bytes needed) {
   while (!freq_list_.empty() && capacity() - used_bytes() < needed) {
-    FreqNode& lowest = freq_list_.front();
-    const Entry& victim = lowest.entries.back();
-    index_.erase(victim.id);
-    note_evict(victim.size);
-    lowest.entries.pop_back();
-    if (lowest.entries.empty()) freq_list_.pop_front();
+    const std::uint32_t lowest = freq_list_.head;
+    const std::uint32_t victim = nodes_[lowest].entries.tail;
+    index_.erase(slab_[victim].id);
+    note_evict(slab_[victim].size);
+    nodes_[lowest].entries.unlink(slab_, victim);
+    slab_.release(victim);
+    release_if_empty(lowest);
   }
 }
 
@@ -37,47 +49,66 @@ void LfuCache::admit(ObjectId id, Bytes size) {
   if (size > capacity()) return;
   if (touch(id)) return;
   evict_until(size);
-  auto node = freq_list_.begin();
-  if (node == freq_list_.end() || node->freq != 1) {
-    node = freq_list_.insert(freq_list_.begin(), {1, {}});
+  std::uint32_t node = freq_list_.head;
+  if (node == detail::kNullSlot || nodes_[node].freq != 1) {
+    node = nodes_.allocate();
+    FreqNode& n = nodes_[node];
+    n.freq = 1;
+    n.entries.clear();
+    freq_list_.push_front(nodes_, node);
   }
-  node->entries.push_front({id, size});
-  index_.emplace(id, Locator{node, node->entries.begin()});
+  const std::uint32_t s = slab_.allocate();
+  Entry& e = slab_[s];
+  e.id = id;
+  e.size = size;
+  e.node = node;
+  nodes_[node].entries.push_front(slab_, s);
+  index_.insert(id, s);
   note_admit(size);
 }
 
 void LfuCache::erase(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  Locator& loc = it->second;
-  note_erase(loc.entry->size);
-  loc.node->entries.erase(loc.entry);
-  if (loc.node->entries.empty()) freq_list_.erase(loc.node);
-  index_.erase(it);
+  const std::uint32_t s = index_.find(id);
+  if (s == detail::kNullSlot) return;
+  const std::uint32_t node = slab_[s].node;
+  note_erase(slab_[s].size);
+  nodes_[node].entries.unlink(slab_, s);
+  slab_.release(s);
+  release_if_empty(node);
+  index_.erase(id);
+}
+
+void LfuCache::reserve(std::size_t expected_objects) {
+  slab_.reserve(expected_objects);
+  index_.reserve(expected_objects);
 }
 
 std::vector<std::pair<ObjectId, Bytes>> LfuCache::hottest(
     std::size_t n) const {
   // Walk frequency nodes from highest to lowest, recency order within each.
   std::vector<std::pair<ObjectId, Bytes>> out;
-  for (auto node = freq_list_.rbegin(); node != freq_list_.rend(); ++node) {
-    for (const Entry& e : node->entries) {
+  for (std::uint32_t node = freq_list_.tail; node != detail::kNullSlot;
+       node = nodes_[node].prev) {
+    for (std::uint32_t s = nodes_[node].entries.head;
+         s != detail::kNullSlot; s = slab_[s].next) {
       if (out.size() >= n) return out;
-      out.emplace_back(e.id, e.size);
+      out.emplace_back(slab_[s].id, slab_[s].size);
     }
   }
   return out;
 }
 
 void LfuCache::clear() {
+  slab_.clear();
+  nodes_.clear();
   freq_list_.clear();
   index_.clear();
   reset_usage();
 }
 
 std::uint64_t LfuCache::frequency(ObjectId id) const {
-  const auto it = index_.find(id);
-  return it == index_.end() ? 0 : it->second.node->freq;
+  const std::uint32_t s = index_.find(id);
+  return s == detail::kNullSlot ? 0 : nodes_[slab_[s].node].freq;
 }
 
 }  // namespace starcdn::cache

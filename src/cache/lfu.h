@@ -1,15 +1,17 @@
 // Least Frequently Used eviction with O(1) operations.
 //
-// Implements the frequency-bucket structure of Ketan Shah et al.: a doubly
-// linked list of frequency nodes, each holding an LRU-ordered list of
-// entries with that access count. Eviction removes the least recently used
-// entry of the lowest frequency.
+// Implements the frequency-bucket structure of Ketan Shah et al.: an
+// intrusive chain of frequency nodes (ascending counts), each holding an
+// LRU-ordered intrusive list of entries with that access count. Eviction
+// removes the least recently used entry of the lowest frequency. Both the
+// entries and the frequency nodes live in slab arenas: a bump moves one
+// entry between two adjacent buckets by relinking four u32 slots, with node
+// creation/teardown recycling slab storage instead of allocating.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
 #include "cache/cache.h"
+#include "cache/detail/flat_index.h"
+#include "cache/detail/slab.h"
 
 namespace starcdn::cache {
 
@@ -24,6 +26,7 @@ class LfuCache final : public Cache {
   void admit(ObjectId id, Bytes size) override;
   void erase(ObjectId id) override;
   void clear() override;
+  void reserve(std::size_t expected_objects) override;
   [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
       std::size_t n) const override;
   [[nodiscard]] Policy policy() const noexcept override { return Policy::kLfu; }
@@ -35,22 +38,23 @@ class LfuCache final : public Cache {
   struct Entry {
     ObjectId id;
     Bytes size;
+    std::uint32_t prev, next;
+    std::uint32_t node;  // owning frequency bucket (slot into nodes_)
   };
   struct FreqNode {
     std::uint64_t freq;
-    std::list<Entry> entries;  // front = most recently used at this freq
-  };
-  using FreqList = std::list<FreqNode>;
-  struct Locator {
-    FreqList::iterator node;
-    std::list<Entry>::iterator entry;
+    detail::IntrusiveList<Entry> entries;  // front = most recent at this freq
+    std::uint32_t prev, next;
   };
 
-  void bump(const std::unordered_map<ObjectId, Locator>::iterator& it);
+  void bump(std::uint32_t entry_slot);
   void evict_until(Bytes needed);
+  void release_if_empty(std::uint32_t node_slot);
 
-  FreqList freq_list_;  // ascending frequency order
-  std::unordered_map<ObjectId, Locator> index_;
+  detail::Slab<Entry> slab_;
+  detail::Slab<FreqNode> nodes_;
+  detail::IntrusiveList<FreqNode> freq_list_;  // ascending frequency order
+  detail::FlatIndex index_;
 };
 
 }  // namespace starcdn::cache

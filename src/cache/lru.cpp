@@ -3,18 +3,19 @@
 namespace starcdn::cache {
 
 bool LruCache::touch(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  list_.splice(list_.begin(), list_, it->second);
+  const std::uint32_t s = index_.find(id);
+  if (s == detail::kNullSlot) return false;
+  list_.move_front(slab_, s);
   return true;
 }
 
 void LruCache::evict_until(Bytes needed) {
   while (!list_.empty() && capacity() - used_bytes() < needed) {
-    const Entry& victim = list_.back();
-    index_.erase(victim.id);
-    note_evict(victim.size);
-    list_.pop_back();
+    const std::uint32_t victim = list_.tail;
+    index_.erase(slab_[victim].id);
+    note_evict(slab_[victim].size);
+    list_.unlink(slab_, victim);
+    slab_.release(victim);
   }
 }
 
@@ -22,30 +23,41 @@ void LruCache::admit(ObjectId id, Bytes size) {
   if (size > capacity()) return;
   if (touch(id)) return;  // already resident
   evict_until(size);
-  list_.push_front({id, size});
-  index_.emplace(id, list_.begin());
+  const std::uint32_t s = slab_.allocate();
+  Entry& e = slab_[s];
+  e.id = id;
+  e.size = size;
+  list_.push_front(slab_, s);
+  index_.insert(id, s);
   note_admit(size);
 }
 
 void LruCache::erase(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  note_erase(it->second->size);
-  list_.erase(it->second);
-  index_.erase(it);
+  const std::uint32_t s = index_.find(id);
+  if (s == detail::kNullSlot) return;
+  note_erase(slab_[s].size);
+  list_.unlink(slab_, s);
+  index_.erase(id);
+  slab_.release(s);
+}
+
+void LruCache::reserve(std::size_t expected_objects) {
+  slab_.reserve(expected_objects);
+  index_.reserve(expected_objects);
 }
 
 std::vector<std::pair<ObjectId, Bytes>> LruCache::hottest(
     std::size_t n) const {
   std::vector<std::pair<ObjectId, Bytes>> out;
-  for (const Entry& e : list_) {
-    if (out.size() >= n) break;
-    out.emplace_back(e.id, e.size);
+  for (std::uint32_t s = list_.head; s != detail::kNullSlot && out.size() < n;
+       s = slab_[s].next) {
+    out.emplace_back(slab_[s].id, slab_[s].size);
   }
   return out;
 }
 
 void LruCache::clear() {
+  slab_.clear();
   list_.clear();
   index_.clear();
   reset_usage();

@@ -1,15 +1,17 @@
 // Least Recently Used eviction — the paper's policy of choice (§2.2, §5).
 #pragma once
 
-#include <list>
-#include <unordered_map>
+#include <optional>
 
 #include "cache/cache.h"
+#include "cache/detail/flat_index.h"
+#include "cache/detail/slab.h"
 
 namespace starcdn::cache {
 
-/// Classic LRU: recency list + index. touch() is O(1); admit() evicts from
-/// the tail until the object fits.
+/// Classic LRU: recency as an intrusive list over the entry slab, lookup
+/// through the flat index. touch() is O(1); admit() evicts from the tail
+/// until the object fits.
 class LruCache final : public Cache {
  public:
   explicit LruCache(Bytes capacity) noexcept : Cache(capacity) {}
@@ -21,22 +23,28 @@ class LruCache final : public Cache {
   void admit(ObjectId id, Bytes size) override;
   void erase(ObjectId id) override;
   void clear() override;
+  void reserve(std::size_t expected_objects) override;
   [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
       std::size_t n) const override;
   [[nodiscard]] Policy policy() const noexcept override { return Policy::kLru; }
 
-  /// Least-recently-used object id, if any (exposed for tests).
-  [[nodiscard]] ObjectId lru_victim() const { return list_.back().id; }
+  /// Least-recently-used object id; nullopt on an empty cache.
+  [[nodiscard]] std::optional<ObjectId> lru_victim() const noexcept {
+    if (list_.empty()) return std::nullopt;
+    return slab_[list_.tail].id;
+  }
 
  private:
   struct Entry {
     ObjectId id;
     Bytes size;
+    std::uint32_t prev, next;
   };
   void evict_until(Bytes needed);
 
-  std::list<Entry> list_;  // front = most recent
-  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+  detail::Slab<Entry> slab_;
+  detail::IntrusiveList<Entry> list_;  // front = most recent
+  detail::FlatIndex index_;
 };
 
 }  // namespace starcdn::cache

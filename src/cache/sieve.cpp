@@ -3,9 +3,9 @@
 namespace starcdn::cache {
 
 bool SieveCache::touch(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  it->second->visited = true;
+  const std::uint32_t s = index_.find(id);
+  if (s == detail::kNullSlot) return false;
+  slab_[s].visited = true;
   return true;
 }
 
@@ -13,65 +13,70 @@ void SieveCache::evict_one() {
   // The hand sweeps tail -> head, clearing visited bits, and evicts the
   // first unvisited entry; it wraps to the tail when it passes the head.
   if (list_.empty()) return;
-  if (hand_ == list_.end()) hand_ = std::prev(list_.end());
-  while (hand_->visited) {
-    hand_->visited = false;
-    if (hand_ == list_.begin()) {
-      hand_ = std::prev(list_.end());
-    } else {
-      --hand_;
-    }
+  if (hand_ == detail::kNullSlot) hand_ = list_.tail;
+  while (slab_[hand_].visited) {
+    slab_[hand_].visited = false;
+    hand_ = hand_ == list_.head ? list_.tail : slab_[hand_].prev;
   }
-  const auto victim = hand_;
-  // Advance the hand before erasing; "toward head", wrapping at begin.
-  if (victim == list_.begin()) {
-    hand_ = list_.end();  // next eviction restarts at the tail
-  } else {
-    hand_ = std::prev(victim);
-  }
-  index_.erase(victim->id);
-  note_evict(victim->size);
-  list_.erase(victim);
+  const std::uint32_t victim = hand_;
+  // Advance the hand before erasing; "toward head", wrapping at the head.
+  hand_ = victim == list_.head ? detail::kNullSlot : slab_[victim].prev;
+  index_.erase(slab_[victim].id);
+  note_evict(slab_[victim].size);
+  list_.unlink(slab_, victim);
+  slab_.release(victim);
 }
 
 void SieveCache::admit(ObjectId id, Bytes size) {
   if (size > capacity() || index_.contains(id)) return;
   while (!list_.empty() && capacity() - used_bytes() < size) evict_one();
-  list_.push_front({id, size, false});
-  index_.emplace(id, list_.begin());
+  const std::uint32_t s = slab_.allocate();
+  Entry& e = slab_[s];
+  e.id = id;
+  e.size = size;
+  e.visited = false;
+  list_.push_front(slab_, s);
+  index_.insert(id, s);
   note_admit(size);
 }
 
 void SieveCache::erase(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  if (hand_ == it->second) {
-    hand_ = it->second == list_.begin() ? list_.end() : std::prev(it->second);
+  const std::uint32_t s = index_.find(id);
+  if (s == detail::kNullSlot) return;
+  if (hand_ == s) {
+    hand_ = s == list_.head ? detail::kNullSlot : slab_[s].prev;
   }
-  note_erase(it->second->size);
-  list_.erase(it->second);
-  index_.erase(it);
+  note_erase(slab_[s].size);
+  list_.unlink(slab_, s);
+  index_.erase(id);
+  slab_.release(s);
 }
 
 std::vector<std::pair<ObjectId, Bytes>> SieveCache::hottest(
     std::size_t n) const {
   // Visited entries first (they survived a sweep), then by insertion order.
   std::vector<std::pair<ObjectId, Bytes>> out;
-  for (const Entry& e : list_) {
-    if (out.size() >= n) break;
-    if (e.visited) out.emplace_back(e.id, e.size);
+  for (std::uint32_t s = list_.head; s != detail::kNullSlot && out.size() < n;
+       s = slab_[s].next) {
+    if (slab_[s].visited) out.emplace_back(slab_[s].id, slab_[s].size);
   }
-  for (const Entry& e : list_) {
-    if (out.size() >= n) break;
-    if (!e.visited) out.emplace_back(e.id, e.size);
+  for (std::uint32_t s = list_.head; s != detail::kNullSlot && out.size() < n;
+       s = slab_[s].next) {
+    if (!slab_[s].visited) out.emplace_back(slab_[s].id, slab_[s].size);
   }
   return out;
 }
 
+void SieveCache::reserve(std::size_t expected_objects) {
+  slab_.reserve(expected_objects);
+  index_.reserve(expected_objects);
+}
+
 void SieveCache::clear() {
+  slab_.clear();
   list_.clear();
   index_.clear();
-  hand_ = list_.end();
+  hand_ = detail::kNullSlot;
   reset_usage();
 }
 

@@ -5,13 +5,14 @@
 // hand that sweeps from tail to head: on eviction the hand skips (and
 // clears) visited entries and removes the first unvisited one. Hits only
 // set the visited bit — no list movement — which makes hits cheaper than
-// LRU and gives better scan resistance.
+// LRU and gives better scan resistance. Here the list is intrusive over the
+// entry slab and the hand is a slot index (kNullSlot = restart at the
+// tail), so the sweep is a contiguous-arena pointer chase.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
 #include "cache/cache.h"
+#include "cache/detail/flat_index.h"
+#include "cache/detail/slab.h"
 
 namespace starcdn::cache {
 
@@ -26,6 +27,7 @@ class SieveCache final : public Cache {
   void admit(ObjectId id, Bytes size) override;
   void erase(ObjectId id) override;
   void clear() override;
+  void reserve(std::size_t expected_objects) override;
   [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
       std::size_t n) const override;
   [[nodiscard]] Policy policy() const noexcept override {
@@ -36,15 +38,16 @@ class SieveCache final : public Cache {
   struct Entry {
     ObjectId id;
     Bytes size;
-    bool visited = false;
+    std::uint32_t prev, next;
+    bool visited;
   };
-  using List = std::list<Entry>;
 
   void evict_one();
 
-  List list_;  // front = newest insertion
-  List::iterator hand_ = list_.end();
-  std::unordered_map<ObjectId, List::iterator> index_;
+  detail::Slab<Entry> slab_;
+  detail::IntrusiveList<Entry> list_;  // front = newest insertion
+  std::uint32_t hand_ = detail::kNullSlot;
+  detail::FlatIndex index_;
 };
 
 }  // namespace starcdn::cache

@@ -1,48 +1,66 @@
 #include "cache/slru.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace starcdn::cache {
+
+SlruCache::SlruCache(Bytes capacity, double protected_fraction)
+    : Cache(capacity),
+      protected_capacity_(static_cast<Bytes>(
+          static_cast<double>(capacity) * protected_fraction)) {
+  // NaN fails both comparisons' complement, so write the check to reject it.
+  if (!(protected_fraction >= 0.0 && protected_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "SlruCache: protected_fraction must be in [0, 1], got " +
+        std::to_string(protected_fraction));
+  }
+}
 
 void SlruCache::shrink_protected(Bytes limit) {
   // Demote protected tail entries into probation until under `limit`.
   while (protected_used_ > limit && !protected_.empty()) {
-    auto victim = std::prev(protected_.end());
-    protected_used_ -= victim->size;
-    victim->is_protected = false;
-    probation_.splice(probation_.begin(), protected_, victim);
-    index_[victim->id].it = probation_.begin();
+    const std::uint32_t victim = protected_.tail;
+    Entry& e = slab_[victim];
+    protected_used_ -= e.size;
+    e.is_protected = false;
+    protected_.unlink(slab_, victim);
+    probation_.push_front(slab_, victim);
   }
 }
 
 bool SlruCache::touch(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  auto entry_it = it->second.it;
-  if (entry_it->is_protected) {
-    protected_.splice(protected_.begin(), protected_, entry_it);
+  const std::uint32_t s = index_.find(id);
+  if (s == detail::kNullSlot) return false;
+  Entry& e = slab_[s];
+  if (e.is_protected) {
+    protected_.move_front(slab_, s);
   } else {
     // Promote probation -> protected; demote overflow back to probation.
-    entry_it->is_protected = true;
-    protected_used_ += entry_it->size;
-    protected_.splice(protected_.begin(), probation_, entry_it);
+    e.is_protected = true;
+    protected_used_ += e.size;
+    probation_.unlink(slab_, s);
+    protected_.push_front(slab_, s);
     shrink_protected(protected_capacity_);
   }
-  index_[id].it = entry_it;
   return true;
 }
 
 void SlruCache::evict_probation_until(Bytes needed) {
   while (capacity() - used_bytes() < needed) {
     if (!probation_.empty()) {
-      const auto victim = std::prev(probation_.end());
-      index_.erase(victim->id);
-      note_evict(victim->size);
-      probation_.erase(victim);
+      const std::uint32_t victim = probation_.tail;
+      index_.erase(slab_[victim].id);
+      note_evict(slab_[victim].size);
+      probation_.unlink(slab_, victim);
+      slab_.release(victim);
     } else if (!protected_.empty()) {
-      const auto victim = std::prev(protected_.end());
-      protected_used_ -= victim->size;
-      index_.erase(victim->id);
-      note_evict(victim->size);
-      protected_.erase(victim);
+      const std::uint32_t victim = protected_.tail;
+      protected_used_ -= slab_[victim].size;
+      index_.erase(slab_[victim].id);
+      note_evict(slab_[victim].size);
+      protected_.unlink(slab_, victim);
+      slab_.release(victim);
     } else {
       return;
     }
@@ -53,41 +71,53 @@ void SlruCache::admit(ObjectId id, Bytes size) {
   if (size > capacity()) return;
   if (touch(id)) return;
   evict_probation_until(size);
-  probation_.push_front({id, size, false});
-  index_[id] = Locator{probation_.begin()};
+  const std::uint32_t s = slab_.allocate();
+  Entry& e = slab_[s];
+  e.id = id;
+  e.size = size;
+  e.is_protected = false;
+  probation_.push_front(slab_, s);
+  index_.insert(id, s);
   note_admit(size);
 }
 
 void SlruCache::erase(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  const auto entry_it = it->second.it;
-  note_erase(entry_it->size);
-  if (entry_it->is_protected) {
-    protected_used_ -= entry_it->size;
-    protected_.erase(entry_it);
+  const std::uint32_t s = index_.find(id);
+  if (s == detail::kNullSlot) return;
+  Entry& e = slab_[s];
+  note_erase(e.size);
+  if (e.is_protected) {
+    protected_used_ -= e.size;
+    protected_.unlink(slab_, s);
   } else {
-    probation_.erase(entry_it);
+    probation_.unlink(slab_, s);
   }
-  index_.erase(it);
+  index_.erase(id);
+  slab_.release(s);
+}
+
+void SlruCache::reserve(std::size_t expected_objects) {
+  slab_.reserve(expected_objects);
+  index_.reserve(expected_objects);
 }
 
 std::vector<std::pair<ObjectId, Bytes>> SlruCache::hottest(
     std::size_t n) const {
   // Protected (re-referenced) objects first, then probation.
   std::vector<std::pair<ObjectId, Bytes>> out;
-  for (const Entry& e : protected_) {
-    if (out.size() >= n) break;
-    out.emplace_back(e.id, e.size);
+  for (std::uint32_t s = protected_.head;
+       s != detail::kNullSlot && out.size() < n; s = slab_[s].next) {
+    out.emplace_back(slab_[s].id, slab_[s].size);
   }
-  for (const Entry& e : probation_) {
-    if (out.size() >= n) break;
-    out.emplace_back(e.id, e.size);
+  for (std::uint32_t s = probation_.head;
+       s != detail::kNullSlot && out.size() < n; s = slab_[s].next) {
+    out.emplace_back(slab_[s].id, slab_[s].size);
   }
   return out;
 }
 
 void SlruCache::clear() {
+  slab_.clear();
   probation_.clear();
   protected_.clear();
   protected_used_ = 0;

@@ -2,22 +2,21 @@
 // protected segment holds re-referenced objects. A common production LRU
 // variant ("different LRU variants are often deployed in commercial CDNs",
 // §2.2); included as an ablation policy for StarCDN's pluggable caching.
+// Both segments are intrusive lists over one shared entry slab, so
+// promotion/demotion is a relink, not a reallocation.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
 #include "cache/cache.h"
+#include "cache/detail/flat_index.h"
+#include "cache/detail/slab.h"
 
 namespace starcdn::cache {
 
 class SlruCache final : public Cache {
  public:
-  /// `protected_fraction` of capacity is reserved for re-referenced objects.
-  explicit SlruCache(Bytes capacity, double protected_fraction = 0.8) noexcept
-      : Cache(capacity),
-        protected_capacity_(static_cast<Bytes>(
-            static_cast<double>(capacity) * protected_fraction)) {}
+  /// `protected_fraction` of capacity is reserved for re-referenced
+  /// objects; throws std::invalid_argument outside [0, 1] (incl. NaN).
+  explicit SlruCache(Bytes capacity, double protected_fraction = 0.8);
 
   [[nodiscard]] bool peek(ObjectId id) const override {
     return index_.contains(id);
@@ -26,6 +25,7 @@ class SlruCache final : public Cache {
   void admit(ObjectId id, Bytes size) override;
   void erase(ObjectId id) override;
   void clear() override;
+  void reserve(std::size_t expected_objects) override;
   [[nodiscard]] std::vector<std::pair<ObjectId, Bytes>> hottest(
       std::size_t n) const override;
   [[nodiscard]] Policy policy() const noexcept override {
@@ -40,11 +40,8 @@ class SlruCache final : public Cache {
   struct Entry {
     ObjectId id;
     Bytes size;
-    bool is_protected = false;
-  };
-  using List = std::list<Entry>;
-  struct Locator {
-    List::iterator it;
+    std::uint32_t prev, next;
+    bool is_protected;
   };
 
   void shrink_protected(Bytes limit);
@@ -52,9 +49,10 @@ class SlruCache final : public Cache {
 
   Bytes protected_capacity_;
   Bytes protected_used_ = 0;
-  List probation_;   // front = most recent
-  List protected_;   // front = most recent
-  std::unordered_map<ObjectId, Locator> index_;
+  detail::Slab<Entry> slab_;
+  detail::IntrusiveList<Entry> probation_;  // front = most recent
+  detail::IntrusiveList<Entry> protected_;  // front = most recent
+  detail::FlatIndex index_;
 };
 
 }  // namespace starcdn::cache

@@ -69,7 +69,12 @@ const VariantMetrics& Simulator::metrics(Variant v) const {
 
 cache::Cache& Simulator::cache_at(VariantState& vs, int sat_index) {
   auto& slot = vs.caches[static_cast<std::size_t>(sat_index)];
-  if (!slot) slot = cache::make_cache(config_.policy, config_.cache_capacity);
+  if (!slot) {
+    slot = cache::make_cache(
+        config_.policy, config_.cache_capacity,
+        cache::presize_hint(config_.cache_capacity,
+                            config_.mean_object_size_hint));
+  }
   return *slot;
 }
 

@@ -50,6 +50,13 @@ enum class Variant : std::uint8_t {
 struct SimConfig {
   cache::Policy policy = cache::Policy::kLru;
   util::Bytes cache_capacity = util::gib(20);
+  /// Mean-object-size hint used to pre-size each satellite cache's entry
+  /// slab and hash index at creation (cache_capacity / hint resident
+  /// objects, see cache::presize_hint), so warm caches never reallocate on
+  /// the serving path. Purely a performance knob — results are identical
+  /// for any value; 0 disables pre-sizing. The default matches the video
+  /// workload's mean object size.
+  util::Bytes mean_object_size_hint = util::mib(16);
   int buckets = 4;          // L, perfect square; used by hash variants
   bool relay_east = true;   // keep the bidirectional east link (§3.3)
   bool sample_latency = true;

@@ -22,7 +22,10 @@ constexpr std::uint32_t kShutdownFlag = 1u << 1;
 /// shutdown control message arrives.
 void worker_loop(std::uint32_t node_id, Channel& channel,
                  const ReplayConfig& config) {
-  const auto cache = cache::make_cache(config.policy, config.cache_capacity);
+  const auto cache = cache::make_cache(
+      config.policy, config.cache_capacity,
+      cache::presize_hint(config.cache_capacity,
+                          config.mean_object_size_hint));
   for (;;) {
     const auto msg = channel.recv();
     if (!msg) return;  // orchestrator closed the channel

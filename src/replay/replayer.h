@@ -29,6 +29,9 @@ struct ReplayConfig {
   bool relay_east = true;
   TransportKind transport = TransportKind::kInProcess;
   int users_per_city = 64;
+  /// Mean-object-size hint used to pre-size each worker's cache slab
+  /// (capacity / hint resident objects); 0 disables pre-sizing.
+  util::Bytes mean_object_size_hint = util::mib(16);
 };
 
 struct ReplayReport {

@@ -1,6 +1,15 @@
 // Parameterized behaviour + invariant tests shared by all eviction policies,
-// plus policy-specific semantics for LRU, LFU, SIEVE and SLRU.
+// policy-specific semantics for LRU, LFU, SIEVE and SLRU, and a differential
+// harness that locksteps each arena-backed policy against a node-based
+// reference model on an adversarial mixed-size trace.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <list>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "cache/cache.h"
 #include "cache/gdsf.h"
@@ -169,9 +178,22 @@ TEST(Lru, VictimOrderTracksTouches) {
   LruCache c(100);
   c.admit(1, 10);
   c.admit(2, 10);
-  EXPECT_EQ(c.lru_victim(), 1u);
+  ASSERT_TRUE(c.lru_victim().has_value());
+  EXPECT_EQ(*c.lru_victim(), 1u);
   c.touch(1);
-  EXPECT_EQ(c.lru_victim(), 2u);
+  ASSERT_TRUE(c.lru_victim().has_value());
+  EXPECT_EQ(*c.lru_victim(), 2u);
+}
+
+TEST(Lru, VictimOnEmptyCacheIsNullopt) {
+  LruCache c(100);
+  EXPECT_EQ(c.lru_victim(), std::nullopt);
+  c.admit(1, 10);
+  c.erase(1);
+  EXPECT_EQ(c.lru_victim(), std::nullopt);  // emptied again, still guarded
+  c.admit(2, 10);
+  c.clear();
+  EXPECT_EQ(c.lru_victim(), std::nullopt);
 }
 
 TEST(Lfu, EvictsLeastFrequent) {
@@ -302,6 +324,27 @@ TEST(Slru, OneHitWondersEvictedFirst) {
   EXPECT_FALSE(c.peek(2));
 }
 
+TEST(Slru, ProtectedFractionValidated) {
+  EXPECT_NO_THROW(SlruCache(100, 0.0));
+  EXPECT_NO_THROW(SlruCache(100, 1.0));
+  EXPECT_NO_THROW(SlruCache(100, 0.5));
+  EXPECT_THROW(SlruCache(100, -0.01), std::invalid_argument);
+  EXPECT_THROW(SlruCache(100, 1.01), std::invalid_argument);
+  EXPECT_THROW(SlruCache(100, std::nan("")), std::invalid_argument);
+}
+
+TEST(Slru, BoundaryFractionsStillServe) {
+  SlruCache none(40, 0.0);  // no protected segment: touches promote nothing
+  none.admit(1, 10);
+  none.touch(1);
+  EXPECT_EQ(none.protected_bytes(), 0u);
+
+  SlruCache all(40, 1.0);  // whole cache may be protected
+  all.admit(1, 10);
+  all.touch(1);
+  EXPECT_EQ(all.protected_bytes(), 10u);
+}
+
 TEST(Slru, ProtectedOverflowDemotes) {
   SlruCache c(100, 0.2);  // protected segment only 20 bytes
   c.admit(1, 15);
@@ -311,6 +354,641 @@ TEST(Slru, ProtectedOverflowDemotes) {
   EXPECT_LE(c.protected_bytes(), 20u + 15u);  // transiently bounded
   EXPECT_TRUE(c.peek(1));
   EXPECT_TRUE(c.peek(2));
+}
+
+// --- Differential harness ----------------------------------------------------
+//
+// Node-based reference models with the exact pre-rewrite semantics of each
+// policy (std::list + std::unordered_map, as the original implementations
+// were written). The arena-backed production policies must stay observably
+// indistinguishable from these on any trace: same AccessResult per request,
+// same resident set, same hottest() ordering, same CacheStats.
+
+class RefModel {
+ public:
+  explicit RefModel(Bytes capacity) : capacity_(capacity) {}
+  virtual ~RefModel() = default;
+
+  virtual bool peek(ObjectId id) const = 0;
+  virtual bool touch(ObjectId id) = 0;
+  virtual void admit(ObjectId id, Bytes size) = 0;
+  virtual void erase(ObjectId id) = 0;
+  virtual void clear() = 0;
+  virtual std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const = 0;
+
+  AccessResult access(ObjectId id, Bytes size) {
+    ++stats_.requests;
+    stats_.bytes_requested += size;
+    if (touch(id)) {
+      ++stats_.hits;
+      stats_.bytes_hit += size;
+      return AccessResult::kHit;
+    }
+    if (size > capacity_) return AccessResult::kMissTooLarge;
+    admit(id, size);
+    return AccessResult::kMissInserted;
+  }
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used_bytes() const { return used_; }
+  std::size_t object_count() const { return count_; }
+  const CacheStats& stats() const { return stats_; }
+
+ protected:
+  void note_admit(Bytes size) {
+    used_ += size;
+    ++count_;
+  }
+  void note_evict(Bytes size) {
+    used_ -= size;
+    --count_;
+    ++stats_.evictions;
+  }
+  void note_erase(Bytes size) {
+    used_ -= size;
+    --count_;
+  }
+  void reset_usage() {
+    used_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::size_t count_ = 0;
+  CacheStats stats_;
+};
+
+class RefLru : public RefModel {
+ public:
+  using RefModel::RefModel;
+
+  bool peek(ObjectId id) const override { return index_.contains(id); }
+
+  bool touch(ObjectId id) override {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    list_.splice(list_.begin(), list_, it->second);
+    return true;
+  }
+
+  void admit(ObjectId id, Bytes size) override {
+    if (size > capacity()) return;
+    if (touch(id)) return;
+    while (!list_.empty() && capacity() - used_bytes() < size) {
+      const Entry& victim = list_.back();
+      index_.erase(victim.id);
+      note_evict(victim.size);
+      list_.pop_back();
+    }
+    list_.push_front({id, size});
+    index_.emplace(id, list_.begin());
+    note_admit(size);
+  }
+
+  void erase(ObjectId id) override {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return;
+    note_erase(it->second->size);
+    list_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void clear() override {
+    list_.clear();
+    index_.clear();
+    reset_usage();
+  }
+
+  std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override {
+    std::vector<std::pair<ObjectId, Bytes>> out;
+    for (const Entry& e : list_) {
+      if (out.size() >= n) break;
+      out.emplace_back(e.id, e.size);
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    Bytes size;
+  };
+  std::list<Entry> list_;  // front = most recent
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+};
+
+class RefFifo : public RefModel {
+ public:
+  using RefModel::RefModel;
+
+  bool peek(ObjectId id) const override { return index_.contains(id); }
+  bool touch(ObjectId id) override { return index_.contains(id); }
+
+  void admit(ObjectId id, Bytes size) override {
+    if (size > capacity() || index_.contains(id)) return;
+    while (!list_.empty() && capacity() - used_bytes() < size) {
+      const Entry& victim = list_.back();
+      index_.erase(victim.id);
+      note_evict(victim.size);
+      list_.pop_back();
+    }
+    list_.push_front({id, size});
+    index_.emplace(id, list_.begin());
+    note_admit(size);
+  }
+
+  void erase(ObjectId id) override {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return;
+    note_erase(it->second->size);
+    list_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void clear() override {
+    list_.clear();
+    index_.clear();
+    reset_usage();
+  }
+
+  std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override {
+    std::vector<std::pair<ObjectId, Bytes>> out;
+    for (const Entry& e : list_) {
+      if (out.size() >= n) break;
+      out.emplace_back(e.id, e.size);
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    Bytes size;
+  };
+  std::list<Entry> list_;
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+};
+
+class RefSieve : public RefModel {
+ public:
+  using RefModel::RefModel;
+
+  bool peek(ObjectId id) const override { return index_.contains(id); }
+
+  bool touch(ObjectId id) override {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    it->second->visited = true;
+    return true;
+  }
+
+  void admit(ObjectId id, Bytes size) override {
+    if (size > capacity() || index_.contains(id)) return;
+    while (!list_.empty() && capacity() - used_bytes() < size) evict_one();
+    list_.push_front({id, size, false});
+    index_.emplace(id, list_.begin());
+    note_admit(size);
+  }
+
+  void erase(ObjectId id) override {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return;
+    if (hand_ == it->second) {
+      hand_ =
+          it->second == list_.begin() ? list_.end() : std::prev(it->second);
+    }
+    note_erase(it->second->size);
+    list_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void clear() override {
+    list_.clear();
+    index_.clear();
+    hand_ = list_.end();
+    reset_usage();
+  }
+
+  std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override {
+    std::vector<std::pair<ObjectId, Bytes>> out;
+    for (const Entry& e : list_) {
+      if (out.size() >= n) break;
+      if (e.visited) out.emplace_back(e.id, e.size);
+    }
+    for (const Entry& e : list_) {
+      if (out.size() >= n) break;
+      if (!e.visited) out.emplace_back(e.id, e.size);
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    Bytes size;
+    bool visited = false;
+  };
+  using List = std::list<Entry>;
+
+  void evict_one() {
+    if (list_.empty()) return;
+    if (hand_ == list_.end()) hand_ = std::prev(list_.end());
+    while (hand_->visited) {
+      hand_->visited = false;
+      if (hand_ == list_.begin()) {
+        hand_ = std::prev(list_.end());
+      } else {
+        --hand_;
+      }
+    }
+    const auto victim = hand_;
+    if (victim == list_.begin()) {
+      hand_ = list_.end();
+    } else {
+      hand_ = std::prev(victim);
+    }
+    index_.erase(victim->id);
+    note_evict(victim->size);
+    list_.erase(victim);
+  }
+
+  List list_;  // front = newest insertion
+  List::iterator hand_ = list_.end();
+  std::unordered_map<ObjectId, List::iterator> index_;
+};
+
+class RefLfu : public RefModel {
+ public:
+  using RefModel::RefModel;
+
+  bool peek(ObjectId id) const override { return index_.contains(id); }
+
+  bool touch(ObjectId id) override {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    bump(it);
+    return true;
+  }
+
+  void admit(ObjectId id, Bytes size) override {
+    if (size > capacity()) return;
+    if (touch(id)) return;
+    while (!freq_list_.empty() && capacity() - used_bytes() < size) {
+      FreqNode& lowest = freq_list_.front();
+      const Entry& victim = lowest.entries.back();
+      index_.erase(victim.id);
+      note_evict(victim.size);
+      lowest.entries.pop_back();
+      if (lowest.entries.empty()) freq_list_.pop_front();
+    }
+    auto node = freq_list_.begin();
+    if (node == freq_list_.end() || node->freq != 1) {
+      node = freq_list_.insert(freq_list_.begin(), {1, {}});
+    }
+    node->entries.push_front({id, size});
+    index_.emplace(id, Locator{node, node->entries.begin()});
+    note_admit(size);
+  }
+
+  void erase(ObjectId id) override {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return;
+    Locator& loc = it->second;
+    note_erase(loc.entry->size);
+    loc.node->entries.erase(loc.entry);
+    if (loc.node->entries.empty()) freq_list_.erase(loc.node);
+    index_.erase(it);
+  }
+
+  void clear() override {
+    freq_list_.clear();
+    index_.clear();
+    reset_usage();
+  }
+
+  std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override {
+    std::vector<std::pair<ObjectId, Bytes>> out;
+    for (auto node = freq_list_.rbegin(); node != freq_list_.rend(); ++node) {
+      for (const Entry& e : node->entries) {
+        if (out.size() >= n) return out;
+        out.emplace_back(e.id, e.size);
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    Bytes size;
+  };
+  struct FreqNode {
+    std::uint64_t freq;
+    std::list<Entry> entries;  // front = most recent at this frequency
+  };
+  struct Locator {
+    std::list<FreqNode>::iterator node;
+    std::list<Entry>::iterator entry;
+  };
+
+  void bump(const std::unordered_map<ObjectId, Locator>::iterator& it) {
+    Locator& loc = it->second;
+    const std::uint64_t next_freq = loc.node->freq + 1;
+    auto next_node = std::next(loc.node);
+    if (next_node == freq_list_.end() || next_node->freq != next_freq) {
+      next_node = freq_list_.insert(next_node, {next_freq, {}});
+    }
+    next_node->entries.splice(next_node->entries.begin(), loc.node->entries,
+                              loc.entry);
+    if (loc.node->entries.empty()) freq_list_.erase(loc.node);
+    loc.node = next_node;
+  }
+
+  std::list<FreqNode> freq_list_;  // ascending frequency
+  std::unordered_map<ObjectId, Locator> index_;
+};
+
+class RefSlru : public RefModel {
+ public:
+  RefSlru(Bytes capacity, double protected_fraction)
+      : RefModel(capacity),
+        protected_capacity_(static_cast<Bytes>(
+            static_cast<double>(capacity) * protected_fraction)) {}
+
+  bool peek(ObjectId id) const override { return index_.contains(id); }
+
+  bool touch(ObjectId id) override {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    auto entry_it = it->second;
+    if (entry_it->is_protected) {
+      protected_.splice(protected_.begin(), protected_, entry_it);
+    } else {
+      entry_it->is_protected = true;
+      protected_used_ += entry_it->size;
+      protected_.splice(protected_.begin(), probation_, entry_it);
+      shrink_protected(protected_capacity_);
+    }
+    index_[id] = entry_it;
+    return true;
+  }
+
+  void admit(ObjectId id, Bytes size) override {
+    if (size > capacity()) return;
+    if (touch(id)) return;
+    while (capacity() - used_bytes() < size) {
+      if (!probation_.empty()) {
+        const auto victim = std::prev(probation_.end());
+        index_.erase(victim->id);
+        note_evict(victim->size);
+        probation_.erase(victim);
+      } else if (!protected_.empty()) {
+        const auto victim = std::prev(protected_.end());
+        protected_used_ -= victim->size;
+        index_.erase(victim->id);
+        note_evict(victim->size);
+        protected_.erase(victim);
+      } else {
+        break;
+      }
+    }
+    probation_.push_front({id, size, false});
+    index_[id] = probation_.begin();
+    note_admit(size);
+  }
+
+  void erase(ObjectId id) override {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return;
+    const auto entry_it = it->second;
+    note_erase(entry_it->size);
+    if (entry_it->is_protected) {
+      protected_used_ -= entry_it->size;
+      protected_.erase(entry_it);
+    } else {
+      probation_.erase(entry_it);
+    }
+    index_.erase(it);
+  }
+
+  void clear() override {
+    probation_.clear();
+    protected_.clear();
+    protected_used_ = 0;
+    index_.clear();
+    reset_usage();
+  }
+
+  std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override {
+    std::vector<std::pair<ObjectId, Bytes>> out;
+    for (const Entry& e : protected_) {
+      if (out.size() >= n) break;
+      out.emplace_back(e.id, e.size);
+    }
+    for (const Entry& e : probation_) {
+      if (out.size() >= n) break;
+      out.emplace_back(e.id, e.size);
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    Bytes size;
+    bool is_protected;
+  };
+  using List = std::list<Entry>;
+
+  void shrink_protected(Bytes limit) {
+    while (protected_used_ > limit && !protected_.empty()) {
+      auto victim = std::prev(protected_.end());
+      protected_used_ -= victim->size;
+      victim->is_protected = false;
+      probation_.splice(probation_.begin(), protected_, victim);
+      index_[victim->id] = probation_.begin();
+    }
+  }
+
+  Bytes protected_capacity_;
+  Bytes protected_used_ = 0;
+  List probation_;
+  List protected_;
+  std::unordered_map<ObjectId, List::iterator> index_;
+};
+
+class RefGdsf : public RefModel {
+ public:
+  using RefModel::RefModel;
+
+  bool peek(ObjectId id) const override { return index_.contains(id); }
+
+  bool touch(ObjectId id) override {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    ++it->second.frequency;
+    queue_.erase({it->second.utility, id});
+    it->second.utility = utility_of(it->second);
+    queue_.emplace(std::pair{it->second.utility, id}, id);
+    return true;
+  }
+
+  void admit(ObjectId id, Bytes size) override {
+    if (size > capacity()) return;
+    if (touch(id)) return;
+    while (!queue_.empty() && capacity() - used_bytes() < size) {
+      const auto victim_it = queue_.begin();
+      const ObjectId victim = victim_it->second;
+      clock_ = victim_it->first.first;
+      queue_.erase(victim_it);
+      const auto idx = index_.find(victim);
+      note_evict(idx->second.size);
+      index_.erase(idx);
+    }
+    Entry e;
+    e.size = size;
+    e.frequency = 1;
+    e.utility = utility_of(e);
+    queue_.emplace(std::pair{e.utility, id}, id);
+    index_.emplace(id, e);
+    note_admit(size);
+  }
+
+  void erase(ObjectId id) override {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return;
+    queue_.erase({it->second.utility, id});
+    note_erase(it->second.size);
+    index_.erase(it);
+  }
+
+  void clear() override {
+    queue_.clear();
+    index_.clear();
+    clock_ = 0.0;
+    reset_usage();
+  }
+
+  std::vector<std::pair<ObjectId, Bytes>> hottest(
+      std::size_t n) const override {
+    std::vector<std::pair<ObjectId, Bytes>> out;
+    for (auto it = queue_.rbegin(); it != queue_.rend() && out.size() < n;
+         ++it) {
+      out.emplace_back(it->second, index_.at(it->second).size);
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Bytes size = 0;
+    std::uint64_t frequency = 0;
+    double utility = 0.0;
+  };
+
+  double utility_of(const Entry& e) const {
+    return clock_ + static_cast<double>(e.frequency) /
+                        static_cast<double>(std::max<Bytes>(e.size, 1));
+  }
+
+  std::map<std::pair<double, ObjectId>, ObjectId> queue_;
+  std::unordered_map<ObjectId, Entry> index_;
+  double clock_ = 0.0;
+};
+
+std::unique_ptr<RefModel> make_ref(Policy policy, Bytes capacity) {
+  switch (policy) {
+    case Policy::kLru: return std::make_unique<RefLru>(capacity);
+    case Policy::kLfu: return std::make_unique<RefLfu>(capacity);
+    case Policy::kFifo: return std::make_unique<RefFifo>(capacity);
+    case Policy::kSieve: return std::make_unique<RefSieve>(capacity);
+    case Policy::kSlru: return std::make_unique<RefSlru>(capacity, 0.8);
+    case Policy::kGdsf: return std::make_unique<RefGdsf>(capacity);
+  }
+  throw std::logic_error("unknown policy");
+}
+
+// Drives the production cache and the reference model through the same
+// adversarial trace: mixed sizes spanning 3 orders of magnitude, oversized
+// rejects, zero-byte objects, erases of hot/cold/absent ids, occasional
+// full clears, direct re-admits — with the observable state compared after
+// every single operation.
+void run_differential(Policy policy, std::uint64_t seed,
+                      std::size_t expected_objects) {
+  constexpr Bytes kCapacity = 2'000;
+  constexpr ObjectId kUniverse = 150;
+  const auto real = make_cache(policy, kCapacity, expected_objects);
+  const auto ref = make_ref(policy, kCapacity);
+  util::Rng rng(seed);
+
+  for (int step = 0; step < 20'000; ++step) {
+    const auto op = rng.below(100);
+    const ObjectId id = rng.below(kUniverse);
+    if (op < 80) {
+      // Sizes from 0 to beyond capacity: op 78/79 force the too-large and
+      // zero-byte edges; the rest spread across small/medium/large.
+      Bytes size;
+      if (op == 79) {
+        size = kCapacity + 1 + rng.below(1'000);
+      } else if (op == 78) {
+        size = 0;
+      } else {
+        size = 1 + rng.below(op < 40 ? 40 : (op < 70 ? 400 : 1'500));
+      }
+      ASSERT_EQ(real->access(id, size), ref->access(id, size))
+          << to_string(policy) << " diverged at step " << step;
+    } else if (op < 88) {
+      real->erase(id);
+      ref->erase(id);
+    } else if (op < 94) {
+      ASSERT_EQ(real->peek(id), ref->peek(id)) << "step " << step;
+    } else if (op < 99) {
+      const Bytes size = 1 + rng.below(500);
+      real->admit(id, size);  // direct admit: re-admit or fresh, no stats
+      ref->admit(id, size);
+    } else {
+      real->clear();
+      ref->clear();
+    }
+
+    ASSERT_EQ(real->used_bytes(), ref->used_bytes())
+        << to_string(policy) << " bytes diverged at step " << step;
+    ASSERT_EQ(real->object_count(), ref->object_count())
+        << to_string(policy) << " count diverged at step " << step;
+    ASSERT_EQ(real->hottest(8), ref->hottest(8))
+        << to_string(policy) << " ordering diverged at step " << step;
+    if (step % 97 == 0) {
+      for (ObjectId probe = 0; probe < kUniverse; ++probe) {
+        ASSERT_EQ(real->peek(probe), ref->peek(probe))
+            << to_string(policy) << " resident set diverged at step " << step
+            << " for id " << probe;
+      }
+    }
+  }
+
+  EXPECT_EQ(real->stats().requests, ref->stats().requests);
+  EXPECT_EQ(real->stats().hits, ref->stats().hits);
+  EXPECT_EQ(real->stats().bytes_requested, ref->stats().bytes_requested);
+  EXPECT_EQ(real->stats().bytes_hit, ref->stats().bytes_hit);
+  EXPECT_EQ(real->stats().evictions, ref->stats().evictions);
+}
+
+TEST_P(PolicyTest, DifferentialAgainstReferenceModel) {
+  run_differential(GetParam(), /*seed=*/101, /*expected_objects=*/0);
+}
+
+TEST_P(PolicyTest, DifferentialWithPresizedSlab) {
+  // Pre-sizing is a pure performance hint; the trace outgrows the tiny hint
+  // to prove behaviour is identical across slab/index growth.
+  run_differential(GetParam(), /*seed=*/202, /*expected_objects=*/4);
 }
 
 }  // namespace

@@ -254,6 +254,111 @@ TEST_F(SimulatorTest, StreamedRunsAccumulate) {
             chunked.metrics(Variant::kStarCdn).uplink_bytes);
 }
 
+// --- Golden regression -------------------------------------------------------
+//
+// End-to-end metrics captured from the pre-rewrite (node-based) cache
+// implementations on a fixed scenario: every policy x variant combination
+// must stay bitwise-identical after the arena-backed cache-core rewrite.
+// Any intentional behaviour change to a policy must re-capture these rows.
+
+struct GoldenRow {
+  cache::Policy policy;
+  Variant variant;
+  std::uint64_t local_hits, routed_hits, relay_west_hits, relay_east_hits;
+  std::uint64_t misses, unreachable;
+  std::uint64_t bytes_hit, uplink_bytes, isl_bytes, prefetch_bytes;
+  std::uint64_t relay_both_requests;
+};
+
+TEST(SimulatorGolden, MetricsBitwiseIdenticalAcrossCacheRewrite) {
+  using cache::Policy;
+  static constexpr GoldenRow kGolden[] = {
+    {Policy::kLru, Variant(0), 7990u, 0u, 0u, 0u, 14410u, 0u, 96787506361u, 274881501435u, 0u, 0u, 0u},
+    {Policy::kLru, Variant(1), 7660u, 0u, 0u, 0u, 14740u, 0u, 92165935056u, 279503072740u, 0u, 0u, 0u},
+    {Policy::kLru, Variant(2), 2645u, 8440u, 0u, 0u, 11315u, 0u, 151690795490u, 219978212306u, 115466108068u, 0u, 0u},
+    {Policy::kLru, Variant(3), 7732u, 0u, 1989u, 721u, 11958u, 0u, 138921015034u, 232747992762u, 45238780024u, 0u, 708u},
+    {Policy::kLru, Variant(4), 2645u, 8466u, 1486u, 789u, 9014u, 0u, 191293095456u, 180375912340u, 155038749696u, 0u, 384u},
+    {Policy::kLru, Variant(5), 2601u, 7836u, 0u, 0u, 11963u, 0u, 138708494608u, 232960513188u, 390158118394u, 285769149839u, 0u},
+    {Policy::kLfu, Variant(0), 8726u, 0u, 0u, 0u, 13674u, 0u, 105472851524u, 266196156272u, 0u, 0u, 0u},
+    {Policy::kLfu, Variant(1), 8206u, 0u, 0u, 0u, 14194u, 0u, 99462369008u, 272206638788u, 0u, 0u, 0u},
+    {Policy::kLfu, Variant(2), 2694u, 8792u, 0u, 0u, 10914u, 0u, 155638276977u, 216030730819u, 118953887871u, 0u, 0u},
+    {Policy::kLfu, Variant(3), 8236u, 0u, 1739u, 605u, 11820u, 0u, 140337646961u, 231331360835u, 40298404643u, 0u, 511u},
+    {Policy::kLfu, Variant(4), 2691u, 8855u, 1432u, 682u, 8740u, 0u, 192385707288u, 179283300508u, 155885714663u, 0u, 345u},
+    {Policy::kLfu, Variant(5), 2843u, 8790u, 0u, 0u, 10767u, 0u, 152231310786u, 219437697010u, 374903166854u, 260071178471u, 0u},
+    {Policy::kFifo, Variant(0), 7325u, 0u, 0u, 0u, 15075u, 0u, 88976178047u, 282692829749u, 0u, 0u, 0u},
+    {Policy::kFifo, Variant(1), 7044u, 0u, 0u, 0u, 15356u, 0u, 85128297738u, 286540710058u, 0u, 0u, 0u},
+    {Policy::kFifo, Variant(2), 2551u, 8085u, 0u, 0u, 11764u, 0u, 144579126785u, 227089881011u, 110005529554u, 0u, 0u},
+    {Policy::kFifo, Variant(3), 7044u, 0u, 2341u, 931u, 12084u, 0u, 136616281255u, 235052726541u, 51487983517u, 0u, 908u},
+    {Policy::kFifo, Variant(4), 2551u, 8085u, 1800u, 854u, 9110u, 0u, 188976908912u, 182692098884u, 154403311681u, 0u, 597u},
+    {Policy::kFifo, Variant(5), 2554u, 7517u, 0u, 0u, 12329u, 0u, 134554984129u, 237114023667u, 400408757564u, 299670656678u, 0u},
+    {Policy::kSieve, Variant(0), 8388u, 0u, 0u, 0u, 14012u, 0u, 102856128994u, 268812878802u, 0u, 0u, 0u},
+    {Policy::kSieve, Variant(1), 8001u, 0u, 0u, 0u, 14399u, 0u, 97193160155u, 274475847641u, 0u, 0u, 0u},
+    {Policy::kSieve, Variant(2), 2671u, 8613u, 0u, 0u, 11116u, 0u, 154695959799u, 216973047997u, 117940201255u, 0u, 0u},
+    {Policy::kSieve, Variant(3), 7989u, 0u, 1892u, 657u, 11862u, 0u, 140220447544u, 231448560252u, 42527583734u, 0u, 659u},
+    {Policy::kSieve, Variant(4), 2672u, 8637u, 1486u, 738u, 8867u, 0u, 192928998479u, 178740009317u, 156113287152u, 0u, 386u},
+    {Policy::kSieve, Variant(5), 2828u, 8565u, 0u, 0u, 11007u, 0u, 151212530239u, 220456477557u, 383937073604u, 270437432151u, 0u},
+    {Policy::kSlru, Variant(0), 8665u, 0u, 0u, 0u, 13735u, 0u, 105797751966u, 265871255830u, 0u, 0u, 0u},
+    {Policy::kSlru, Variant(1), 8192u, 0u, 0u, 0u, 14208u, 0u, 99443628356u, 272225379440u, 0u, 0u, 0u},
+    {Policy::kSlru, Variant(2), 2697u, 8766u, 0u, 0u, 10937u, 0u, 155576692066u, 216092315730u, 118736773090u, 0u, 0u},
+    {Policy::kSlru, Variant(3), 8203u, 0u, 1793u, 621u, 11783u, 0u, 140985093692u, 230683914104u, 41161523463u, 0u, 554u},
+    {Policy::kSlru, Variant(4), 2693u, 8795u, 1447u, 699u, 8766u, 0u, 192960452402u, 178708555394u, 156128473520u, 0u, 354u},
+    {Policy::kSlru, Variant(5), 2851u, 8756u, 0u, 0u, 10793u, 0u, 152686670229u, 218982337567u, 380174331869u, 265298917542u, 0u},
+    {Policy::kGdsf, Variant(0), 8793u, 0u, 0u, 0u, 13607u, 0u, 97527119254u, 274141888542u, 0u, 0u, 0u},
+    {Policy::kGdsf, Variant(1), 8169u, 0u, 0u, 0u, 14231u, 0u, 92141949169u, 279527058627u, 0u, 0u, 0u},
+    {Policy::kGdsf, Variant(2), 2716u, 8967u, 0u, 0u, 10717u, 0u, 149443822622u, 222225185174u, 114544699941u, 0u, 0u},
+    {Policy::kGdsf, Variant(3), 8237u, 0u, 1889u, 688u, 11586u, 0u, 134264732932u, 237404274864u, 40875012310u, 0u, 575u},
+    {Policy::kGdsf, Variant(4), 2726u, 9015u, 1441u, 680u, 8538u, 0u, 186106804782u, 185562203014u, 151095667198u, 0u, 352u},
+    {Policy::kGdsf, Variant(5), 2843u, 8754u, 0u, 0u, 10803u, 0u, 140550871860u, 231118135936u, 354138320335u, 247567169119u, 0u},
+  };
+
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  auto p = trace::default_params(trace::TrafficClass::kVideo);
+  p.object_count = 5'000;
+  p.requests_per_weight = 2'000;
+  p.duration_s = 1'800.0;
+  const trace::WorkloadModel workload(util::paper_cities(), p);
+  const auto requests = trace::merge_by_time(workload.generate());
+  const sched::LinkSchedule schedule(shell, util::paper_cities(),
+                                     p.duration_s);
+  constexpr Variant kVariants[] = {
+      Variant::kStatic,   Variant::kVanillaLru, Variant::kHashOnly,
+      Variant::kRelayOnly, Variant::kStarCdn,   Variant::kPrefetch,
+  };
+
+  std::size_t row = 0;
+  for (const auto policy :
+       {Policy::kLru, Policy::kLfu, Policy::kFifo, Policy::kSieve,
+        Policy::kSlru, Policy::kGdsf}) {
+    SimConfig cfg;
+    cfg.policy = policy;
+    cfg.cache_capacity = util::mib(64);
+    cfg.buckets = 4;
+    Simulator sim(shell, schedule, cfg);
+    for (const auto v : kVariants) sim.add_variant(v);
+    sim.run(requests);
+    for (const auto v : kVariants) {
+      const GoldenRow& g = kGolden[row++];
+      ASSERT_EQ(g.policy, policy);
+      ASSERT_EQ(g.variant, v);
+      const auto& m = sim.metrics(v);
+      const auto label = std::string(cache::to_string(policy)) + "/variant " +
+                         std::to_string(static_cast<int>(v));
+      EXPECT_EQ(m.local_hits, g.local_hits) << label;
+      EXPECT_EQ(m.routed_hits, g.routed_hits) << label;
+      EXPECT_EQ(m.relay_west_hits, g.relay_west_hits) << label;
+      EXPECT_EQ(m.relay_east_hits, g.relay_east_hits) << label;
+      EXPECT_EQ(m.misses, g.misses) << label;
+      EXPECT_EQ(m.unreachable, g.unreachable) << label;
+      EXPECT_EQ(m.bytes_hit, g.bytes_hit) << label;
+      EXPECT_EQ(m.uplink_bytes, g.uplink_bytes) << label;
+      EXPECT_EQ(m.isl_bytes, g.isl_bytes) << label;
+      EXPECT_EQ(m.prefetch_bytes, g.prefetch_bytes) << label;
+      EXPECT_EQ(m.relay.both_requests, g.relay_both_requests) << label;
+    }
+  }
+  EXPECT_EQ(row, std::size(kGolden));
+}
+
 TEST(SimulatorFailures, KnockedOutConstellationStillServes) {
   orbit::Constellation shell{orbit::WalkerParams{}};
   util::Rng rng(7);
