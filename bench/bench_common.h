@@ -58,10 +58,10 @@ inline void banner(const std::string& what, const std::string& paper_ref) {
 /// trace, and a 15-second link schedule. Heavyweight members are built
 /// once and reused across capacity sweeps.
 struct VideoScenario {
-  explicit VideoScenario(double duration_s = util::kDay,
+  explicit VideoScenario(util::Seconds duration = util::kDay,
                          double scale = 1.0) {
     params = trace::default_params(trace::TrafficClass::kVideo);
-    params.duration_s = duration_s;
+    params.duration_s = duration.value();
     params.requests_per_weight = static_cast<std::size_t>(
         static_cast<double>(params.requests_per_weight) * scale);
     workload = std::make_unique<trace::WorkloadModel>(util::paper_cities(),
@@ -69,7 +69,7 @@ struct VideoScenario {
     requests = trace::merge_by_time(workload->generate());
     shell = std::make_unique<orbit::Constellation>(orbit::WalkerParams{});
     schedule = std::make_unique<sched::LinkSchedule>(
-        *shell, util::paper_cities(), duration_s);
+        *shell, util::paper_cities(), duration);
     std::printf("scenario: %zu requests / %.1f TB over %zu cities, %zu epochs\n",
                 requests.size(), total_bytes() / 1e12,
                 util::paper_cities().size(), schedule->epochs());

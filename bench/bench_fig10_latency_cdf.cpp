@@ -16,8 +16,9 @@ int main() {
   util::Rng rng(99);
   util::QuantileSampler terrestrial, bentpipe;
   for (int i = 0; i < 200'000; ++i) {
-    terrestrial.add(latency.terrestrial_cdn(rng));
-    bentpipe.add(latency.bentpipe_starlink(latency.params().default_gsl_ms, rng));
+    terrestrial.add(latency.terrestrial_cdn(rng).value());
+    bentpipe.add(
+        latency.bentpipe_starlink(latency.params().default_gsl, rng).value());
   }
 
   // Simulated StarCDN variants.

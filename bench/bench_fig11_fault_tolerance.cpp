@@ -17,7 +17,7 @@ int main() {
 
   const bench::VideoScenario base;  // reuse the trace; rebuild the schedule
   const sched::LinkSchedule schedule(*shell, util::paper_cities(),
-                                     base.params.duration_s);
+                                     util::Seconds{base.params.duration_s});
 
   core::SimConfig cfg;
   cfg.cache_capacity = util::gib(8);  // the paper's 50 GB point
@@ -39,7 +39,7 @@ int main() {
   std::map<int, Group> groups;
   for (int i = 0; i < shell->size(); ++i) {
     const auto idx = static_cast<std::size_t>(i);
-    if (!shell->active(i) || m.sat_requests[idx] == 0) continue;
+    if (!shell->active(util::SatId{i}) || m.sat_requests[idx] == 0) continue;
     Group& g = groups[served[idx]];
     g.requests += m.sat_requests[idx];
     g.hits += m.sat_hits[idx];

@@ -13,11 +13,11 @@ int main() {
   for (const auto traffic_class :
        {trace::TrafficClass::kWeb, trace::TrafficClass::kDownload}) {
     auto params = trace::default_params(traffic_class);
-    params.duration_s = util::kDay;
+    params.duration_s = util::kDay.value();
     const trace::WorkloadModel workload(util::paper_cities(), params);
     const auto requests = trace::merge_by_time(workload.generate());
     const sched::LinkSchedule schedule(shell, util::paper_cities(),
-                                       params.duration_s);
+                                       util::Seconds{params.duration_s});
     std::printf("\n[%s] %zu requests, %.2f TB\n", to_string(traffic_class),
                 requests.size(), [&] {
                   double b = 0;

@@ -13,7 +13,7 @@ int main() {
   auto params = trace::default_params(trace::TrafficClass::kVideo);
   params.object_count = 120'000;
   params.requests_per_weight = 60'000;
-  params.duration_s = util::kDay;
+  params.duration_s = util::kDay.value();
   const trace::WorkloadModel workload(util::paper_cities(), params);
   const auto production = workload.generate();
 
@@ -26,7 +26,7 @@ int main() {
 
   const orbit::Constellation shell{orbit::WalkerParams{}};
   const sched::LinkSchedule schedule(shell, util::paper_cities(),
-                                     params.duration_s);
+                                     util::Seconds{params.duration_s});
 
   const auto fetch_rates = [&](const trace::MultiTrace& traces,
                                util::Bytes cap) {
@@ -59,6 +59,7 @@ int main() {
   std::printf(
       "Mean gaps under StarCDN-Fetch: request %.2f%%, byte %.2f%%\n"
       "(paper: 'difference between the two traces is small').\n",
-      rhr_gap / caps.size() * 100, bhr_gap / caps.size() * 100);
+      rhr_gap / static_cast<double>(caps.size()) * 100,
+      bhr_gap / static_cast<double>(caps.size()) * 100);
   return 0;
 }

@@ -13,7 +13,7 @@ int main() {
                 "Fig. 2, Section 3.1.1");
 
   auto params = trace::default_params(trace::TrafficClass::kVideo);
-  params.duration_s = util::kDay;
+  params.duration_s = util::kDay.value();
   const auto& cities = util::paper_cities();
   const trace::WorkloadModel workload(cities, params);
   const auto traces = workload.generate();
@@ -27,7 +27,8 @@ int main() {
   std::vector<Row> rows;
   for (std::size_t c = 0; c < cities.size(); ++c) {
     if (c == kNewYork) continue;
-    rows.push_back({util::haversine_km(cities[kNewYork].coord, cities[c].coord),
+    rows.push_back({util::haversine(cities[kNewYork].coord, cities[c].coord)
+                        .value(),
                     cities[c].name, trace::overlap(traces[kNewYork], traces[c])});
   }
   std::sort(rows.begin(), rows.end(),

@@ -17,12 +17,12 @@ int main() {
   const orbit::SatelliteId green{13, 0};  // three planes away (paper setup)
 
   // Sample both tracks over one orbital period.
-  const double period = orbit::orbital_period_s(shell.elements(red));
+  const double period = orbit::orbital_period(shell.elements(red)).value();
   util::TextTable table({"t(min)", "red lat", "red lon", "green lat",
                          "green lon"});
   for (double t = 0.0; t <= period; t += period / 12.0) {
-    const auto r = orbit::ecef_to_geodetic(shell.position_ecef(red, t));
-    const auto g = orbit::ecef_to_geodetic(shell.position_ecef(green, t));
+    const auto r = orbit::ecef_to_geodetic(shell.position_ecef(red, util::Seconds{t}));
+    const auto g = orbit::ecef_to_geodetic(shell.position_ecef(green, util::Seconds{t}));
     table.add_row({util::fmt(t / 60.0, 1), util::fmt(r.lat_deg, 1),
                    util::fmt(r.lon_deg, 1), util::fmt(g.lat_deg, 1),
                    util::fmt(g.lon_deg, 1)});
@@ -38,9 +38,9 @@ int main() {
     double err = 0.0;
     for (int k = 0; k < kSamples; ++k) {
       const double t = period * k / kSamples;
-      const auto a = orbit::ecef_to_geodetic(shell.position_ecef(red, t + dt));
-      const auto b = orbit::ecef_to_geodetic(shell.position_ecef(green, t));
-      err += util::haversine_km(a, b);
+      const auto a = orbit::ecef_to_geodetic(shell.position_ecef(red, util::Seconds{t + dt}));
+      const auto b = orbit::ecef_to_geodetic(shell.position_ecef(green, util::Seconds{t}));
+      err += util::haversine(a, b).value();
     }
     err /= kSamples;
     if (err < best_err) {
@@ -55,7 +55,7 @@ int main() {
       "region's recent requests).\n"
       "Paper claim (Fig. 3): the trailing neighbour traveled this path in\n"
       "the previous drift interval -> relayed fetch exploits its cache.\n",
-      red.plane, green.plane, best_offset / 60.0, best_err);
+      red.plane.value(), green.plane.value(), best_offset / 60.0, best_err);
 
   // Fig. 5b: the +grid ISL structure.
   const net::IslGraph graph(shell);

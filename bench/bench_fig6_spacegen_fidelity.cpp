@@ -48,7 +48,7 @@ int main() {
   auto params = trace::default_params(trace::TrafficClass::kVideo);
   params.object_count = 120'000;
   params.requests_per_weight = 60'000;
-  params.duration_s = util::kDay;
+  params.duration_s = util::kDay.value();
   const trace::WorkloadModel workload(util::paper_cities(), params);
   const auto production = workload.generate();
 
@@ -104,13 +104,13 @@ int main() {
         "the known deviation is documented in EXPERIMENTS.md — the synthetic\n"
         "trace under-emits one-hit objects at small trace lengths, which\n"
         "only shows up in single-cache cold-miss-dominated simulations)\n",
-        gaps / caps.size() * 100, byte_rate ? 0.3 : 0.4);
+        gaps / static_cast<double>(caps.size()) * 100, byte_rate ? 0.3 : 0.4);
   }
 
   // --- Fig. 6e/6f: satellite LRU hit-rate curves -----------------------------
   const orbit::Constellation shell{orbit::WalkerParams{}};
   const sched::LinkSchedule schedule(shell, util::paper_cities(),
-                                     params.duration_s);
+                                     util::Seconds{params.duration_s});
   const auto satellite_rates = [&](const trace::MultiTrace& traces,
                                    util::Bytes cap) {
     core::SimConfig sim_cfg;
@@ -141,6 +141,7 @@ int main() {
       "Mean gaps: request %.2f%%, byte %.2f%% (paper: 2%% / 1%%).\n"
       "Conclusion to reproduce: synthetic traces can stand in for\n"
       "production traces in satellite-CDN simulation.\n",
-      rhr_gap / sat_caps.size() * 100, bhr_gap / sat_caps.size() * 100);
+      rhr_gap / static_cast<double>(sat_caps.size()) * 100,
+      bhr_gap / static_cast<double>(sat_caps.size()) * 100);
   return 0;
 }

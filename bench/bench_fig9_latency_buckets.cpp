@@ -28,7 +28,7 @@ int main() {
     // Worst case: half-tile of inter-orbit hops plus half-tile of
     // intra-orbit hops, each way.
     const double worst_rtt =
-        2.0 * latency.grid_hops_ms(half, half);
+        2.0 * latency.grid_hops_delay(half, half).value();
     table.add_row({std::to_string(buckets),
                    std::to_string(sim.mapper().worst_case_hops()),
                    util::fmt(worst_rtt, 1),

@@ -87,7 +87,7 @@ void BM_BucketMapping(benchmark::State& state) {
   const core::BucketMapper mapper(shell, static_cast<int>(state.range(0)));
   std::uint64_t id = 0;
   for (auto _ : state) {
-    const int b = mapper.bucket_of_object(++id);
+    const util::BucketId b = mapper.bucket_of_object(++id);
     benchmark::DoNotOptimize(
         mapper.owner({static_cast<int>(id % 72), static_cast<int>(id % 18)}, b));
   }
@@ -100,7 +100,7 @@ void BM_Propagation(benchmark::State& state) {
   double t = 0.0;
   for (auto _ : state) {
     t += 15.0;
-    benchmark::DoNotOptimize(shell.position_ecef({31, 7}, t));
+    benchmark::DoNotOptimize(shell.position_ecef({31, 7}, util::Seconds{t}));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -108,8 +108,8 @@ BENCHMARK(BM_Propagation);
 
 void BM_VisibilitySweep(benchmark::State& state) {
   const orbit::Constellation shell{orbit::WalkerParams{}};
-  const orbit::VisibilityOracle oracle(25.0);
-  const auto positions = shell.all_positions_ecef(0.0);
+  const orbit::VisibilityOracle oracle(util::Degrees{25.0});
+  const auto positions = shell.all_positions_ecef(util::Seconds{0.0});
   const util::GeoCoord ny{40.71, -74.01};
   for (auto _ : state) {
     benchmark::DoNotOptimize(oracle.visible(ny, shell, positions));
@@ -196,13 +196,13 @@ void report_parallel_speedup() {
               threads);
 
   const orbit::Constellation shell{orbit::WalkerParams{}};
-  const double horizon_s = 2 * util::kHour;  // 480 epochs x 1,296 slots
+  const double horizon_s = 2 * util::kHour.value();  // 480 epochs x 1,296 slots
 
   auto build_schedule = [&](int n) {
     util::set_parallel_threads(n);
     const double s = time_s([&] {
       const sched::LinkSchedule schedule(shell, util::paper_cities(),
-                                         horizon_s);
+                                         util::Seconds{horizon_s});
       benchmark::DoNotOptimize(&schedule);
     });
     util::set_parallel_threads(0);
@@ -220,7 +220,7 @@ void report_parallel_speedup() {
   p.duration_s = horizon_s;
   const trace::WorkloadModel workload(util::paper_cities(), p);
   const auto requests = trace::merge_by_time(workload.generate());
-  const sched::LinkSchedule schedule(shell, util::paper_cities(), horizon_s);
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{horizon_s});
 
   auto simulate = [&](int n) {
     util::set_parallel_threads(n);

@@ -21,9 +21,9 @@ Outcome run_point(const trace::WorkloadParams& wp,
   const auto requests = trace::merge_by_time(workload.generate());
   const orbit::Constellation shell{shell_params};
   sched::SchedulerParams sp;
-  sp.min_elevation_deg = min_elevation_deg;
+  sp.min_elevation = util::Degrees{min_elevation_deg};
   const sched::LinkSchedule schedule(shell, util::paper_cities(),
-                                     wp.duration_s, sp);
+                                     util::Seconds{wp.duration_s}, sp);
   core::SimConfig cfg;
   cfg.cache_capacity = util::gib(2);
   cfg.buckets = 9;
@@ -38,7 +38,7 @@ Outcome run_point(const trace::WorkloadParams& wp,
 
 trace::WorkloadParams base_params() {
   auto wp = trace::default_params(trace::TrafficClass::kVideo);
-  wp.duration_s = 12 * util::kHour;
+  wp.duration_s = 12 * util::kHour.value();
   wp.requests_per_weight = 75'000;
   return wp;
 }

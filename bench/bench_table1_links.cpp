@@ -16,7 +16,8 @@ int main() {
   std::vector<util::GeoCoord> grounds;
   for (const auto& c : util::paper_cities()) grounds.push_back(c.coord);
   // One full orbital period sampled every 30 s covers all link geometries.
-  const auto stats = net::measure_link_delays(shell, grounds, 5'760.0, 30.0);
+  const auto stats = net::measure_link_delays(shell, grounds, util::Seconds{5'760.0},
+                               util::Seconds{30.0});
 
   util::TextTable table({"Link", "Avg Delay(ms)", "Std Delay(ms)",
                          "Min Delay(ms)", "Bandwidth(Gbps)", "Paper avg/std/min"});
@@ -24,7 +25,7 @@ int main() {
                        net::LinkType type, const char* paper) {
     table.add_row({name, util::fmt(s.mean()), util::fmt(s.stddev(), 3),
                    util::fmt(s.min()),
-                   util::fmt(net::nominal_bandwidth_gbps(type), 0), paper});
+                   util::fmt(util::to_gbps(net::nominal_bandwidth(type)), 0), paper});
   };
   row("Intra-orbit ISL", stats.intra_orbit_isl, net::LinkType::kIntraOrbitIsl,
       "8.03 / 0.376 / 4.76");

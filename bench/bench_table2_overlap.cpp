@@ -11,7 +11,7 @@ int main() {
                 "Table 2, Section 3.1.1");
 
   auto params = trace::default_params(trace::TrafficClass::kVideo);
-  params.duration_s = util::kDay;
+  params.duration_s = util::kDay.value();
   const trace::WorkloadModel workload(util::paper_cities(), params);
   const auto traces = workload.generate();
 

@@ -28,11 +28,11 @@ int main() {
     sim.run(scenario.requests);
     const auto& rel = sim.metrics(core::Variant::kStarCdn).relay;
     table.add_row({label,
-                   util::fmt(rel.west_only_requests / 1e3, 1),
+                   util::fmt(static_cast<double>(rel.west_only_requests) / 1e3, 1),
                    util::fmt(static_cast<double>(rel.west_only_bytes) / 1e9, 1),
-                   util::fmt(rel.east_only_requests / 1e3, 1),
+                   util::fmt(static_cast<double>(rel.east_only_requests) / 1e3, 1),
                    util::fmt(static_cast<double>(rel.east_only_bytes) / 1e9, 1),
-                   util::fmt(rel.both_requests / 1e3, 1),
+                   util::fmt(static_cast<double>(rel.both_requests) / 1e3, 1),
                    util::fmt(static_cast<double>(rel.both_bytes) / 1e9, 1)});
   }
   table.print(std::cout, "Table 3: availability in inter-orbit neighbours");

@@ -28,23 +28,24 @@ int main(int argc, char** argv) {
   const orbit::Constellation shell{orbit::WalkerParams{}};
   std::printf("Shell: %d planes x %d slots = %d satellites @ %.0f km, %.0f deg\n",
               shell.planes(), shell.slots_per_plane(), shell.size(),
-              shell.params().altitude_km, shell.params().inclination_deg);
+              shell.params().altitude.value(), shell.params().inclination.value());
   std::printf("Orbital period: %.1f min\n",
-              orbit::orbital_period_s(shell.elements({0, 0})) / 60.0);
+              orbit::orbital_period(shell.elements({0, 0})).value() / 60.0);
 
   // Who can this user see right now, and over the next 10 minutes?
-  const orbit::VisibilityOracle oracle(25.0);
+  const orbit::VisibilityOracle oracle(util::Degrees{25.0});
   std::printf("\nVisibility from (%.2f, %.2f), 25 deg mask:\n", where.lat_deg,
               where.lon_deg);
   for (double t = 0.0; t <= 600.0; t += 120.0) {
     const auto visible =
-        oracle.visible(where, shell, shell.all_positions_ecef(t));
+        oracle.visible(where, shell, shell.all_positions_ecef(util::Seconds{t}));
     std::printf("  t=%3.0fs: %2zu satellites in view", t, visible.size());
     if (!visible.empty()) {
-      const auto id = shell.id_of(visible.front().sat_index);
+      const auto id = shell.id_of(visible.front().sat);
       std::printf("; best (plane %2d, slot %2d) el=%.0f deg range=%.0f km",
-                  id.plane, id.slot, visible.front().elevation_deg,
-                  visible.front().range_km);
+                  id.plane.value(), id.slot.value(),
+                  visible.front().elevation.value(),
+                  visible.front().range.value());
     }
     std::printf("\n");
   }
@@ -52,13 +53,15 @@ int main(int argc, char** argv) {
   // Ground track of one satellite across half an orbit.
   std::printf("\nGround track of satellite (0,0):\n");
   for (double t = 0.0; t <= 2'880.0; t += 480.0) {
-    const auto g = orbit::ground_track_point(shell.elements({0, 0}), t);
+    const auto g =
+        orbit::ground_track_point(shell.elements({0, 0}), util::Seconds{t});
     std::printf("  t=%4.0fs  lat %6.1f  lon %7.1f\n", t, g.lat_deg, g.lon_deg);
   }
 
   // ISL fabric and link delays.
   const net::IslGraph graph(shell);
-  const auto delays = net::measure_link_delays(shell, {where}, 300.0, 60.0);
+  const auto delays = net::measure_link_delays(shell, {where}, util::Seconds{300.0},
+                                           util::Seconds{60.0});
   std::printf("\nISL fabric: %zu links, %d broken\n", graph.edges().size(),
               graph.broken_edge_count());
   std::printf("  intra-orbit hop: %.2f ms   inter-orbit hop: %.2f ms   "
@@ -68,20 +71,20 @@ int main(int argc, char** argv) {
 
   // StarCDN bucket layout seen from this user's best satellite.
   const core::BucketMapper mapper(shell, 4);
-  const auto visible = oracle.visible(where, shell, shell.all_positions_ecef(0));
+  const auto visible = oracle.visible(where, shell, shell.all_positions_ecef(util::Seconds{0}));
   if (!visible.empty()) {
-    const auto fc = shell.id_of(visible.front().sat_index);
+    const auto fc = shell.id_of(visible.front().sat);
     std::printf("\nBucket routing from first contact (plane %d, slot %d):\n",
-                fc.plane, fc.slot);
+                fc.plane.value(), fc.slot.value());
     for (int b = 0; b < mapper.buckets(); ++b) {
-      const auto owner = mapper.owner(fc, b);
+      const auto owner = mapper.owner(fc, util::BucketId{b});
       const auto [inter, intra] = mapper.hop_split(fc, *owner);
       std::printf("  bucket %d -> (plane %2d, slot %2d), %d+%d hops\n", b,
-                  owner->plane, owner->slot, inter, intra);
+                  owner->plane.value(), owner->slot.value(), inter, intra);
     }
-    const auto west = mapper.west_replica(*mapper.owner(fc, 0));
+    const auto west = mapper.west_replica(*mapper.owner(fc, util::BucketId{0}));
     std::printf("  relay replica of bucket 0 owner: (plane %d, slot %d)\n",
-                west->plane, west->slot);
+                west->plane.value(), west->slot.value());
   }
   return 0;
 }

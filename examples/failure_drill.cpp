@@ -15,11 +15,11 @@ int main() {
   auto p = trace::default_params(trace::TrafficClass::kVideo);
   p.object_count = 60'000;
   p.requests_per_weight = 30'000;
-  p.duration_s = 6 * util::kHour;
+  p.duration_s = 6 * util::kHour.value();
   const trace::WorkloadModel workload(util::paper_cities(), p);
   const auto requests = trace::merge_by_time(workload.generate());
   std::printf("workload: %zu requests over %.0f hours\n\n", requests.size(),
-              p.duration_s / util::kHour);
+              p.duration_s / util::kHour.value());
 
   std::printf("%-18s %-10s %-12s %-10s %-10s %-12s\n", "failed fraction",
               "active", "broken ISLs", "RHR", "BHR", "uplink save");
@@ -29,7 +29,7 @@ int main() {
     if (fail_fraction > 0.0) shell.knock_out_random(fail_fraction, rng);
     const net::IslGraph graph(shell);
     const sched::LinkSchedule schedule(shell, util::paper_cities(),
-                                       p.duration_s);
+                                       util::Seconds{p.duration_s});
 
     core::SimConfig cfg;
     cfg.cache_capacity = util::gib(4);

@@ -21,7 +21,7 @@ int main() {
   trace::WorkloadParams wp = trace::default_params(trace::TrafficClass::kVideo);
   wp.object_count = 60'000;
   wp.requests_per_weight = 20'000;
-  wp.duration_s = 6 * util::kHour;
+  wp.duration_s = 6 * util::kHour.value();
   const trace::WorkloadModel workload(cities, wp);
   const auto requests = trace::merge_by_time(workload.generate());
   std::printf("workload: %zu requests over %zu cities\n", requests.size(),
@@ -31,7 +31,7 @@ int main() {
   const orbit::Constellation shell{orbit::WalkerParams{}};
 
   // 3. Precompute the 15-second link schedule (Starlink reconfigure rate).
-  const sched::LinkSchedule schedule(shell, cities, wp.duration_s);
+  const sched::LinkSchedule schedule(shell, cities, util::Seconds{wp.duration_s});
   std::printf("schedule: %zu epochs, %.1f satellites visible on average\n",
               schedule.epochs(), schedule.mean_candidates());
 

@@ -25,10 +25,10 @@ int main(int argc, char** argv) {
   auto p = trace::default_params(trace::TrafficClass::kVideo);
   p.object_count = 20'000;
   p.requests_per_weight = 6'000;
-  p.duration_s = util::kHour;
+  p.duration_s = util::kHour.value();
   const trace::WorkloadModel workload(util::paper_cities(), p);
   const auto requests = trace::merge_by_time(workload.generate());
-  const sched::LinkSchedule schedule(shell, util::paper_cities(), p.duration_s);
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{p.duration_s});
 
   replay::ReplayConfig cfg;
   cfg.cache_capacity = util::gib(1);

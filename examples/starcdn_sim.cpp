@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
 
   const auto& cities = global ? util::global_cities() : util::paper_cities();
   auto params = trace::default_params(traffic_class);
-  params.duration_s = hours * util::kHour;
+  params.duration_s = hours * util::kHour.value();
   params.requests_per_weight = static_cast<std::size_t>(
       static_cast<double>(params.requests_per_weight) * scale);
   const trace::WorkloadModel workload(cities, params);
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
     util::Rng rng(4242);
     shell.knock_out_random(fail_fraction, rng);
   }
-  const sched::LinkSchedule schedule(shell, cities, params.duration_s);
+  const sched::LinkSchedule schedule(shell, cities, util::Seconds{params.duration_s});
 
   core::SimConfig cfg;
   cfg.cache_capacity = util::gib(capacity_gib);

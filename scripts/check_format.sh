@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Check (or, with --fix, apply) clang-format over the whole tree.
+#
+#   scripts/check_format.sh          # verify, non-zero exit on drift
+#   scripts/check_format.sh --fix    # rewrite files in place
+#
+# Exits 0 with a notice when clang-format is not installed, so local dev
+# boxes without LLVM tooling aren't blocked; CI installs clang-format and
+# gets the real check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  for cand in clang-format clang-format-18 clang-format-17 clang-format-16; do
+    if command -v "${cand}" > /dev/null 2>&1; then
+      CLANG_FORMAT="${cand}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  echo "check_format: clang-format not found on PATH; skipping (CI runs it)."
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files -- \
+  'src/**/*.h' 'src/**/*.cpp' \
+  'tests/*.cpp' 'bench/*.h' 'bench/*.cpp' 'examples/*.cpp')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: no files matched." >&2
+  exit 1
+fi
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "${CLANG_FORMAT}" -i "${files[@]}"
+  echo "check_format: formatted ${#files[@]} files."
+  exit 0
+fi
+
+fail=0
+for f in "${files[@]}"; do
+  if ! "${CLANG_FORMAT}" --dry-run -Werror "${f}" > /dev/null 2>&1; then
+    echo "needs formatting: ${f}"
+    fail=1
+  fi
+done
+if [[ ${fail} -ne 0 ]]; then
+  echo "check_format: run scripts/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "check_format: ${#files[@]} files clean."

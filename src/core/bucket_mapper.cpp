@@ -35,19 +35,22 @@ BucketMapper::BucketMapper(const orbit::Constellation& constellation,
   for (auto& entry : remap_cache_) entry.store(-2, std::memory_order_relaxed);
 }
 
-int BucketMapper::bucket_of_object(cache::ObjectId id) const noexcept {
-  return static_cast<int>(util::splitmix64(id) %
-                          static_cast<std::uint64_t>(l_));
+util::BucketId BucketMapper::bucket_of_object(
+    cache::ObjectId id) const noexcept {
+  return util::BucketId{static_cast<std::int32_t>(
+      util::splitmix64(id) % static_cast<std::uint64_t>(l_))};
 }
 
-int BucketMapper::bucket_of_slot(orbit::SatelliteId id) const noexcept {
-  return (id.plane % side_) * side_ + (id.slot % side_);
+util::BucketId BucketMapper::bucket_of_slot(
+    orbit::SatelliteId id) const noexcept {
+  return util::BucketId{(id.plane.value() % side_) * side_ +
+                        (id.slot.value() % side_)};
 }
 
-orbit::SatelliteId BucketMapper::nominal_owner(orbit::SatelliteId from,
-                                               int bucket) const noexcept {
-  const int bp = bucket / side_;  // required plane residue (mod side)
-  const int bs = bucket % side_;  // required slot residue (mod side)
+orbit::SatelliteId BucketMapper::nominal_owner(
+    orbit::SatelliteId from, util::BucketId bucket) const noexcept {
+  const int bp = bucket.value() / side_;  // required plane residue (mod side)
+  const int bs = bucket.value() % side_;  // required slot residue (mod side)
   const auto nearest = [&](int cur, int residue, int n) {
     // Candidate coordinates with the right residue on either side of `cur`.
     const int fwd = wrap(residue - cur, side_);        // 0..side-1 steps ahead
@@ -58,22 +61,23 @@ orbit::SatelliteId BucketMapper::nominal_owner(orbit::SatelliteId from,
     return toroidal_abs(fwd, n) <= toroidal_abs(back, n) ? cand_fwd
                                                          : cand_back;
   };
-  return {nearest(from.plane, bp, constellation_->planes()),
-          nearest(from.slot, bs, constellation_->slots_per_plane())};
+  return orbit::grid_id(
+      nearest(from.plane.value(), bp, constellation_->planes()),
+      nearest(from.slot.value(), bs, constellation_->slots_per_plane()));
 }
 
 std::optional<orbit::SatelliteId> BucketMapper::remap(
     orbit::SatelliteId nominal) const {
   const auto& c = *constellation_;
-  const int idx = c.index_of(nominal);
-  std::atomic<int>& slot = remap_cache_[static_cast<std::size_t>(idx)];
+  const util::SatId idx = c.index_of(nominal);
+  std::atomic<int>& slot = remap_cache_[util::as_index(idx)];
   const int cached = slot.load(std::memory_order_relaxed);
   if (cached != -2) {
     if (cached == -1) return std::nullopt;
-    return c.id_of(cached);
+    return c.id_of(util::SatId{cached});
   }
   if (c.active(idx)) {
-    slot.store(idx, std::memory_order_relaxed);
+    slot.store(idx.value(), std::memory_order_relaxed);
     return nominal;
   }
   // Ring search by grid distance; deterministic scan order so every
@@ -85,12 +89,13 @@ std::optional<orbit::SatelliteId> BucketMapper::remap(
       const int rem = r - std::abs(dp);
       for (const int ds : rem == 0 ? std::vector<int>{0}
                                    : std::vector<int>{-rem, rem}) {
-        const orbit::SatelliteId cand{wrap(nominal.plane + dp, c.planes()),
-                                      wrap(nominal.slot + ds,
-                                           c.slots_per_plane())};
-        const int cidx = c.index_of(cand);
+        const orbit::SatelliteId cand =
+            orbit::grid_id(wrap(nominal.plane.value() + dp, c.planes()),
+                           wrap(nominal.slot.value() + ds,
+                                c.slots_per_plane()));
+        const util::SatId cidx = c.index_of(cand);
         if (c.active(cidx)) {
-          slot.store(cidx, std::memory_order_relaxed);
+          slot.store(cidx.value(), std::memory_order_relaxed);
           return cand;
         }
       }
@@ -100,8 +105,8 @@ std::optional<orbit::SatelliteId> BucketMapper::remap(
   return std::nullopt;
 }
 
-std::optional<orbit::SatelliteId> BucketMapper::owner(orbit::SatelliteId from,
-                                                      int bucket) const {
+std::optional<orbit::SatelliteId> BucketMapper::owner(
+    orbit::SatelliteId from, util::BucketId bucket) const {
   return remap(nominal_owner(from, bucket));
 }
 
@@ -127,8 +132,10 @@ std::optional<orbit::SatelliteId> BucketMapper::east_replica(
 
 std::pair<int, int> BucketMapper::hop_split(
     orbit::SatelliteId a, orbit::SatelliteId b) const noexcept {
-  return {toroidal_abs(b.plane - a.plane, constellation_->planes()),
-          toroidal_abs(b.slot - a.slot, constellation_->slots_per_plane())};
+  return {toroidal_abs(b.plane.value() - a.plane.value(),
+                       constellation_->planes()),
+          toroidal_abs(b.slot.value() - a.slot.value(),
+                       constellation_->slots_per_plane())};
 }
 
 int BucketMapper::worst_case_hops() const noexcept { return 2 * (side_ / 2); }

@@ -14,10 +14,12 @@
 
 #include <atomic>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.h"
 #include "orbit/constellation.h"
+#include "util/ids.h"
 
 namespace starcdn::core {
 
@@ -30,22 +32,24 @@ class BucketMapper {
   [[nodiscard]] int tile_side() const noexcept { return side_; }
 
   /// Bucket an object hashes into (splitmix-mixed, uniform over L).
-  [[nodiscard]] int bucket_of_object(cache::ObjectId id) const noexcept;
+  [[nodiscard]] util::BucketId bucket_of_object(
+      cache::ObjectId id) const noexcept;
 
   /// Bucket assigned to a satellite slot by the grid tiling.
-  [[nodiscard]] int bucket_of_slot(orbit::SatelliteId id) const noexcept;
+  [[nodiscard]] util::BucketId bucket_of_slot(
+      orbit::SatelliteId id) const noexcept;
 
   /// Nominal owner of `bucket` nearest to `from` on the torus — ignores
   /// failures. Reachable within 2*floor(side/2) hops by construction.
-  [[nodiscard]] orbit::SatelliteId nominal_owner(orbit::SatelliteId from,
-                                                 int bucket) const noexcept;
+  [[nodiscard]] orbit::SatelliteId nominal_owner(
+      orbit::SatelliteId from, util::BucketId bucket) const noexcept;
 
   /// Actual owner after failure remapping: the nominal owner if active,
   /// otherwise the nearest active satellite (deterministic ring search, a
   /// pure function of the nominal owner so all requesters agree). Returns
   /// nullopt only if the whole constellation is down.
   [[nodiscard]] std::optional<orbit::SatelliteId> owner(
-      orbit::SatelliteId from, int bucket) const;
+      orbit::SatelliteId from, util::BucketId bucket) const;
 
   /// Same-bucket replicas for relayed fetch: `side_` planes west / east of
   /// `owner_sat` (remapped if inactive). Never returns `owner_sat` itself.

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "util/hash.h"
+#include "util/ids.h"
 #include "util/units.h"
 
 namespace starcdn::core {
@@ -20,18 +21,19 @@ namespace starcdn::core {
 class TransientFailureModel {
  public:
   /// Each satellite is independently down for whole windows of
-  /// `window_s` seconds with probability `down_probability`.
-  TransientFailureModel(double down_probability, double window_s = 300.0,
-                        std::uint64_t seed = 0x7e57ab1e) noexcept
-      : p_(down_probability), window_s_(window_s), seed_(seed) {}
+  /// `window` duration with probability `down_probability`.
+  explicit TransientFailureModel(double down_probability,
+                                 util::Seconds window = util::Seconds{300.0},
+                                 std::uint64_t seed = 0x7e57ab1e) noexcept
+      : p_(down_probability), window_s_(window.value()), seed_(seed) {}
 
   [[nodiscard]] double down_probability() const noexcept { return p_; }
 
-  [[nodiscard]] bool down(int sat_index, double t_s) const noexcept {
+  [[nodiscard]] bool down(util::SatId sat, util::Seconds t) const noexcept {
     if (p_ <= 0.0) return false;
-    const auto window = static_cast<std::uint64_t>(t_s / window_s_);
+    const auto window = static_cast<std::uint64_t>(t.value() / window_s_);
     const std::uint64_t h = util::hash_combine(
-        util::splitmix64(seed_ + static_cast<std::uint64_t>(sat_index)),
+        util::splitmix64(seed_ + static_cast<std::uint64_t>(sat.value())),
         util::splitmix64(window));
     return static_cast<double>(h >> 11) * 0x1.0p-53 < p_;
   }

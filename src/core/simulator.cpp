@@ -7,6 +7,10 @@
 
 namespace starcdn::core {
 
+using util::CityId;
+using util::EpochIdx;
+using util::SatId;
+
 const char* to_string(Variant v) noexcept {
   switch (v) {
     case Variant::kStatic: return "StaticCache";
@@ -40,7 +44,7 @@ void Simulator::add_variant(Variant v) {
   // independent when variants replay concurrently. A variant registered
   // mid-stream picks up the shared request-counter position.
   vs.transient = TransientFailureModel(config_.transient_down_prob,
-                                       config_.transient_window_s,
+                                       config_.transient_window,
                                        config_.seed ^ 0xfa11u);
   vs.rng = util::Rng(config_.seed ^ static_cast<std::uint64_t>(v));
   vs.request_counter =
@@ -67,8 +71,8 @@ const VariantMetrics& Simulator::metrics(Variant v) const {
   throw std::out_of_range("Simulator::metrics: variant not registered");
 }
 
-cache::Cache& Simulator::cache_at(VariantState& vs, int sat_index) {
-  auto& slot = vs.caches[static_cast<std::size_t>(sat_index)];
+cache::Cache& Simulator::cache_at(VariantState& vs, SatId sat) {
+  auto& slot = vs.caches[util::as_index(sat)];
   if (!slot) {
     slot = cache::make_cache(
         config_.policy, config_.cache_capacity,
@@ -78,10 +82,10 @@ cache::Cache& Simulator::cache_at(VariantState& vs, int sat_index) {
   return *slot;
 }
 
-void Simulator::note_sat(VariantState& vs, int sat_index,
+void Simulator::note_sat(VariantState& vs, SatId sat,
                          const trace::Request& r, bool hit) {
   if (!config_.track_per_satellite) return;
-  const auto i = static_cast<std::size_t>(sat_index);
+  const auto i = util::as_index(sat);
   ++vs.metrics.sat_requests[i];
   vs.metrics.sat_bytes_requested[i] += r.size;
   if (hit) {
@@ -99,7 +103,7 @@ void Simulator::run(const std::vector<trace::Request>& requests) {
   // variant is registered, instead of once per variant). Each slot is a
   // pure function of the request index, so this fans out over requests.
   struct RequestContext {
-    std::size_t epoch = 0;
+    EpochIdx epoch{0};
     sched::Candidate fc;         // first contact at the real epoch
     sched::Candidate fc_static;  // first contact at the frozen epoch 0
   };
@@ -116,15 +120,16 @@ void Simulator::run(const std::vector<trace::Request>& requests) {
   util::parallel_for(requests.size(), [&](std::size_t i) {
     const trace::Request& r = requests[i];
     RequestContext& c = ctx[i];
-    c.epoch = schedule_->epoch_of(r.timestamp_s);
+    c.epoch = schedule_->epoch_of(util::Seconds{r.timestamp_s});
     // Logical user terminal issuing this request: rotates through the
     // city's population so an epoch's requests spread over the candidate
     // satellites exactly as CosmicBeats splits them (§5.1).
     const std::uint64_t user =
         util::splitmix64(counter_base + i) % users_per_city;
-    c.fc = schedule_->first_contact(c.epoch, r.location, user);
+    const CityId city{r.location};
+    c.fc = schedule_->first_contact(c.epoch, city, user);
     if (need_static) {
-      c.fc_static = schedule_->first_contact(0, r.location, user);
+      c.fc_static = schedule_->first_contact(EpochIdx{0}, city, user);
     }
   });
 
@@ -137,7 +142,7 @@ void Simulator::run(const std::vector<trace::Request>& requests) {
     const bool is_static = vs.variant == Variant::kStatic;
     for (std::size_t i = 0; i < requests.size(); ++i) {
       ++vs.request_counter;
-      const std::size_t sched_epoch = is_static ? 0 : ctx[i].epoch;
+      const EpochIdx sched_epoch = is_static ? EpochIdx{0} : ctx[i].epoch;
       process(vs, requests[i], sched_epoch, ctx[i].epoch,
               is_static ? ctx[i].fc_static : ctx[i].fc);
     }
@@ -146,24 +151,23 @@ void Simulator::run(const std::vector<trace::Request>& requests) {
   });
 }
 
-void Simulator::maybe_prefetch(VariantState& vs, int serving_idx,
-                               std::size_t epoch) {
+void Simulator::maybe_prefetch(VariantState& vs, SatId serving,
+                               EpochIdx epoch) {
   // The §3.3 alternative design: on entering a new scheduler epoch, a
   // satellite speculatively pulls the hottest objects of its trailing
   // ("west") same-bucket replica — the satellite that just served the
   // region this one is flying into. Prefetched bytes burn ISL bandwidth
   // and cache space whether or not they are ever requested; the ablation
   // bench quantifies why the paper prefers miss-triggered relay.
-  auto& stamp = vs.prefetch_epoch[static_cast<std::size_t>(serving_idx)];
-  if (stamp == epoch) return;
-  stamp = static_cast<std::uint32_t>(epoch);
-  const auto west =
-      mapper_.west_replica(constellation_->id_of(serving_idx));
+  auto& stamp = vs.prefetch_epoch[util::as_index(serving)];
+  if (stamp == epoch.value()) return;
+  stamp = static_cast<std::uint32_t>(epoch.value());
+  const auto west = mapper_.west_replica(constellation_->id_of(serving));
   if (!west) return;
   auto& replica_slot =
-      vs.caches[static_cast<std::size_t>(constellation_->index_of(*west))];
+      vs.caches[util::as_index(constellation_->index_of(*west))];
   if (!replica_slot) return;  // neighbour has served nothing yet
-  cache::Cache& own = cache_at(vs, serving_idx);
+  cache::Cache& own = cache_at(vs, serving);
   for (const auto& [id, size] :
        replica_slot->hottest(
            static_cast<std::size_t>(config_.prefetch_objects_per_epoch))) {
@@ -175,52 +179,55 @@ void Simulator::maybe_prefetch(VariantState& vs, int serving_idx,
 }
 
 void Simulator::process(VariantState& vs, const trace::Request& r,
-                        std::size_t sched_epoch, std::size_t real_epoch,
+                        EpochIdx sched_epoch, EpochIdx real_epoch,
                         const sched::Candidate& fc) {
   VariantMetrics& m = vs.metrics;
   ++m.requests;
   m.bytes_requested += r.size;
 
-  if (fc.sat_index < 0) {
+  if (fc.sat.value() < 0) {
     // Coverage gap: served bent-pipe from the ground via a remote link.
     ++m.unreachable;
     ++m.misses;
     m.uplink_bytes += r.size;
     if (config_.sample_latency) {
-      m.latency_ms.add(latency_.bentpipe_starlink(latency_.params().default_gsl_ms, vs.rng));
+      m.latency_ms.add(
+          latency_.bentpipe_starlink(latency_.params().default_gsl, vs.rng)
+              .value());
     }
     return;
   }
 
-  const double gsl_ms = fc.gsl_one_way_ms;
-  const orbit::SatelliteId fc_id = constellation_->id_of(fc.sat_index);
+  const util::Millis gsl{fc.gsl_one_way_ms};
+  const orbit::SatelliteId fc_id = constellation_->id_of(fc.sat);
   const bool hashed = vs.variant == Variant::kHashOnly ||
                       vs.variant == Variant::kStarCdn ||
                       vs.variant == Variant::kPrefetch;
 
   // --- Resolve the serving satellite --------------------------------------
   orbit::SatelliteId serving = fc_id;
-  double route_ms = 0.0;
+  util::Millis route{0.0};
   if (hashed) {
-    const int bucket = mapper_.bucket_of_object(r.object);
+    const util::BucketId bucket = mapper_.bucket_of_object(r.object);
     if (const auto owner = mapper_.owner(fc_id, bucket)) {
       serving = *owner;
       const auto [inter, intra] = mapper_.hop_split(fc_id, serving);
-      route_ms = latency_.grid_hops_ms(inter, intra);
+      route = latency_.grid_hops_delay(inter, intra);
     }
   }
-  const int serving_idx = constellation_->index_of(serving);
+  const SatId serving_idx = constellation_->index_of(serving);
 
   // Transient cache-server outage (§3.4): report a miss and go to ground;
   // nothing is cached and no remapping happens.
-  if (vs.transient.down(serving_idx, r.timestamp_s)) {
+  if (vs.transient.down(serving_idx, util::Seconds{r.timestamp_s})) {
     ++vs.metrics.transient_misses;
     ++m.misses;
     m.uplink_bytes += r.size;
     m.uplink_meter.add(serving_idx, real_epoch, r.size);
     if (config_.sample_latency) {
-      m.latency_ms.add(latency_.miss(gsl_ms, route_ms,
-                                     latency_.params().default_gsl_ms, vs.rng));
+      m.latency_ms.add(
+          latency_.miss(gsl, route, latency_.params().default_gsl, vs.rng)
+              .value());
     }
     return;
   }
@@ -233,7 +240,7 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
   // --- Hit at the serving satellite ---------------------------------------
   if (serving_cache.touch(r.object)) {
     m.bytes_hit += r.size;
-    if (serving_idx == fc.sat_index) {
+    if (serving_idx == fc.sat) {
       ++m.local_hits;
     } else {
       ++m.routed_hits;
@@ -241,8 +248,9 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
     }
     note_sat(vs, serving_idx, r, true);
     if (config_.sample_latency) {
-      m.latency_ms.add(route_ms > 0.0 ? latency_.hit_routed(gsl_ms, route_ms)
-                                      : latency_.hit_local(gsl_ms));
+      m.latency_ms.add(route.value() > 0.0
+                           ? latency_.hit_routed(gsl, route).value()
+                           : latency_.hit_local(gsl).value());
     }
     return;
   }
@@ -274,14 +282,12 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
       relay_hops = 1;
     }
     const bool west_has =
-        west && vs.caches[static_cast<std::size_t>(
-                    constellation_->index_of(*west))] &&
-        vs.caches[static_cast<std::size_t>(constellation_->index_of(*west))]
+        west && vs.caches[util::as_index(constellation_->index_of(*west))] &&
+        vs.caches[util::as_index(constellation_->index_of(*west))]
             ->peek(r.object);
     const bool east_has =
-        east && vs.caches[static_cast<std::size_t>(
-                    constellation_->index_of(*east))] &&
-        vs.caches[static_cast<std::size_t>(constellation_->index_of(*east))]
+        east && vs.caches[util::as_index(constellation_->index_of(*east))] &&
+        vs.caches[util::as_index(constellation_->index_of(*east))]
             ->peek(r.object);
 
     // Table 3 accounting: what was available among the neighbours when the
@@ -311,9 +317,10 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
       m.bytes_hit += r.size;
       m.isl_bytes += r.size;
       if (config_.sample_latency) {
-        const double relay_ms =
-            static_cast<double>(relay_hops) * latency_.params().inter_orbit_hop_ms;
-        m.latency_ms.add(latency_.hit_relayed(gsl_ms, route_ms, relay_ms));
+        const util::Millis relay =
+            static_cast<double>(relay_hops) *
+            latency_.params().inter_orbit_hop;
+        m.latency_ms.add(latency_.hit_relayed(gsl, route, relay).value());
       }
       return;
     }
@@ -325,8 +332,9 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
   m.uplink_meter.add(serving_idx, real_epoch, r.size);
   serving_cache.admit(r.object, r.size);
   if (config_.sample_latency) {
-    m.latency_ms.add(latency_.miss(gsl_ms, route_ms,
-                                   latency_.params().default_gsl_ms, vs.rng));
+    m.latency_ms.add(
+        latency_.miss(gsl, route, latency_.params().default_gsl, vs.rng)
+            .value());
   }
 }
 
@@ -335,8 +343,8 @@ std::vector<int> Simulator::buckets_served_per_satellite() const {
   // remapping; a healthy satellite serves exactly its own slot.
   std::vector<int> served(static_cast<std::size_t>(constellation_->size()), 0);
   for (int i = 0; i < constellation_->size(); ++i) {
-    if (const auto target = mapper_.remap(constellation_->id_of(i))) {
-      ++served[static_cast<std::size_t>(constellation_->index_of(*target))];
+    if (const auto target = mapper_.remap(constellation_->id_of(SatId{i}))) {
+      ++served[util::as_index(constellation_->index_of(*target))];
     }
   }
   return served;

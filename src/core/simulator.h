@@ -33,6 +33,8 @@
 #include "orbit/constellation.h"
 #include "sched/scheduler.h"
 #include "trace/record.h"
+#include "util/ids.h"
+#include "util/units.h"
 
 namespace starcdn::core {
 
@@ -66,7 +68,7 @@ struct SimConfig {
   /// Transient cache-server outage probability per failure window (§3.4);
   /// 0 disables the model.
   double transient_down_prob = 0.0;
-  double transient_window_s = 300.0;
+  util::Seconds transient_window{300.0};
   std::uint64_t seed = 1234;
 };
 
@@ -113,11 +115,12 @@ class Simulator {
   };
 
   void process(VariantState& vs, const trace::Request& r,
-               std::size_t sched_epoch, std::size_t real_epoch,
+               util::EpochIdx sched_epoch, util::EpochIdx real_epoch,
                const sched::Candidate& fc);
-  void maybe_prefetch(VariantState& vs, int serving_idx, std::size_t epoch);
-  cache::Cache& cache_at(VariantState& vs, int sat_index);
-  void note_sat(VariantState& vs, int sat_index, const trace::Request& r,
+  void maybe_prefetch(VariantState& vs, util::SatId serving,
+                      util::EpochIdx epoch);
+  cache::Cache& cache_at(VariantState& vs, util::SatId sat);
+  void note_sat(VariantState& vs, util::SatId sat, const trace::Request& r,
                 bool hit);
 
   const orbit::Constellation* constellation_;

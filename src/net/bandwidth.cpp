@@ -2,22 +2,23 @@
 
 namespace starcdn::net {
 
-void UplinkMeter::add(int sat_index, std::size_t epoch, util::Bytes bytes) {
-  if (epoch != current_epoch_) {
+void UplinkMeter::add(util::SatId sat, util::EpochIdx epoch,
+                      util::Bytes bytes) {
+  if (epoch.value() != current_epoch_) {
     flush();
-    current_epoch_ = epoch;
+    current_epoch_ = epoch.value();
   }
-  epoch_bytes_[sat_index] += bytes;
+  epoch_bytes_[sat] += bytes;
   total_ += bytes;
 }
 
 void UplinkMeter::flush() {
   for (const auto& [sat, bytes] : epoch_bytes_) {
     (void)sat;
-    const double gbps =
+    const double cell_gbps =
         static_cast<double>(bytes) * 8.0 / 1e9 / epoch_s_;
-    stats_.add(gbps);
-    if (gbps > capacity_gbps_) ++overloads_;
+    stats_.add(cell_gbps);
+    if (cell_gbps > capacity_gbps_) ++overloads_;
   }
   epoch_bytes_.clear();
 }

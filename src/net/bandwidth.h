@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "util/ids.h"
 #include "util/stats.h"
 #include "util/units.h"
 
@@ -19,18 +20,21 @@ namespace starcdn::net {
 
 class UplinkMeter {
  public:
-  explicit UplinkMeter(double epoch_s = 15.0,
-                       double link_capacity_gbps = 20.0) noexcept
-      : epoch_s_(epoch_s), capacity_gbps_(link_capacity_gbps) {}
+  explicit UplinkMeter(
+      util::Seconds epoch_duration = util::Seconds{15.0},
+      util::BytesPerSec link_capacity = util::gbps(20.0)) noexcept
+      : epoch_s_(epoch_duration.value()),
+        capacity_gbps_(util::to_gbps(link_capacity)) {}
 
-  /// Record an origin fetch of `bytes` through `sat_index`'s GSL.
-  void add(int sat_index, std::size_t epoch, util::Bytes bytes);
+  /// Record an origin fetch of `bytes` through `sat`'s GSL.
+  void add(util::SatId sat, util::EpochIdx epoch, util::Bytes bytes);
 
   /// Fold any still-buffered epoch into the statistics.
   void flush();
 
   /// Per-(satellite, epoch) uplink throughput in Gbps, over cells with any
-  /// uplink traffic. Call flush() first.
+  /// uplink traffic. Call flush() first. (RunningStats is a raw moment
+  /// sink; its samples are Gbps to match the paper's tables.)
   [[nodiscard]] const util::RunningStats& throughput_gbps() const noexcept {
     return stats_;
   }
@@ -40,13 +44,15 @@ class UplinkMeter {
     return overloads_;
   }
   [[nodiscard]] util::Bytes total_bytes() const noexcept { return total_; }
-  [[nodiscard]] double capacity_gbps() const noexcept { return capacity_gbps_; }
+  [[nodiscard]] util::BytesPerSec capacity() const noexcept {
+    return util::gbps(capacity_gbps_);
+  }
 
  private:
   double epoch_s_;
   double capacity_gbps_;
   std::size_t current_epoch_ = 0;
-  std::unordered_map<int, util::Bytes> epoch_bytes_;
+  std::unordered_map<util::SatId, util::Bytes> epoch_bytes_;
   util::RunningStats stats_;
   std::uint64_t overloads_ = 0;
   util::Bytes total_ = 0;

@@ -7,18 +7,20 @@
 namespace starcdn::net {
 
 using orbit::SatelliteId;
+using util::SatId;
 
 IslGraph::IslGraph(const orbit::Constellation& constellation)
     : constellation_(&constellation) {
   for (int i = 0; i < constellation.size(); ++i) {
-    const SatelliteId id = constellation.id_of(i);
+    const SatId sat{i};
+    const SatelliteId id = constellation.id_of(sat);
     const auto consider = [&](SatelliteId nbr, bool intra) {
-      const int j = constellation.index_of(nbr);
-      if (j <= i) return;  // count each undirected grid edge once
-      const bool a_ok = constellation.active(i);
+      const SatId j = constellation.index_of(nbr);
+      if (j <= sat) return;  // count each undirected grid edge once
+      const bool a_ok = constellation.active(sat);
       const bool b_ok = constellation.active(j);
       if (a_ok && b_ok) {
-        edges_.push_back({i, j, intra});
+        edges_.push_back({sat, j, intra});
       } else if (a_ok != b_ok) {
         ++broken_;  // exactly one live endpoint: a usable laser is dark
       }
@@ -30,14 +32,14 @@ IslGraph::IslGraph(const orbit::Constellation& constellation)
   }
 }
 
-std::vector<int> IslGraph::neighbors(int sat_index) const {
+std::vector<SatId> IslGraph::neighbors(SatId sat) const {
   const auto& c = *constellation_;
-  std::vector<int> out;
-  if (!c.active(sat_index)) return out;
-  const SatelliteId id = c.id_of(sat_index);
+  std::vector<SatId> out;
+  if (!c.active(sat)) return out;
+  const SatelliteId id = c.id_of(sat);
   for (const SatelliteId nbr :
        {c.intra_next(id), c.intra_prev(id), c.inter_east(id), c.inter_west(id)}) {
-    const int j = c.index_of(nbr);
+    const SatId j = c.index_of(nbr);
     if (c.active(j)) out.push_back(j);
   }
   return out;
@@ -48,8 +50,8 @@ bool IslGraph::l_path_clear(SatelliteId a, SatelliteId b) const {
   return p.has_value();
 }
 
-std::optional<std::vector<int>> IslGraph::l_path(SatelliteId a,
-                                                 SatelliteId b) const {
+std::optional<std::vector<SatId>> IslGraph::l_path(SatelliteId a,
+                                                   SatelliteId b) const {
   // Walk planes first (shorter toroidal direction), then slots; every
   // intermediate satellite must be active. This is the canonical grid route
   // used by StarCDN's bucket routing.
@@ -62,9 +64,9 @@ std::optional<std::vector<int>> IslGraph::l_path(SatelliteId a,
     if (d < -(n - 1) / 2) d += n;
     return d;
   };
-  const int dp = signed_wrap(b.plane - a.plane, P);
-  const int ds = signed_wrap(b.slot - a.slot, S);
-  std::vector<int> path{c.index_of(a)};
+  const int dp = signed_wrap(b.plane.value() - a.plane.value(), P);
+  const int ds = signed_wrap(b.slot.value() - a.slot.value(), S);
+  std::vector<SatId> path{c.index_of(a)};
   SatelliteId cur = a;
   if (!c.active(c.index_of(cur))) return std::nullopt;
   for (int step = 0; step < std::abs(dp); ++step) {
@@ -80,57 +82,59 @@ std::optional<std::vector<int>> IslGraph::l_path(SatelliteId a,
   return path;
 }
 
-std::optional<std::vector<int>> IslGraph::bfs_path(int from, int to) const {
+std::optional<std::vector<SatId>> IslGraph::bfs_path(SatId from,
+                                                     SatId to) const {
   const auto& c = *constellation_;
+  // Parent table over linear indices: -2 unvisited, -1 the BFS root.
   std::vector<int> parent(static_cast<std::size_t>(c.size()), -2);
-  std::deque<int> queue;
-  parent[static_cast<std::size_t>(from)] = -1;
+  std::deque<SatId> queue;
+  parent[util::as_index(from)] = -1;
   queue.push_back(from);
   while (!queue.empty()) {
-    const int cur = queue.front();
+    const SatId cur = queue.front();
     queue.pop_front();
     if (cur == to) break;
-    for (const int nbr : neighbors(cur)) {
-      if (parent[static_cast<std::size_t>(nbr)] == -2) {
-        parent[static_cast<std::size_t>(nbr)] = cur;
+    for (const SatId nbr : neighbors(cur)) {
+      if (parent[util::as_index(nbr)] == -2) {
+        parent[util::as_index(nbr)] = cur.value();
         queue.push_back(nbr);
       }
     }
   }
-  if (parent[static_cast<std::size_t>(to)] == -2) return std::nullopt;
-  std::vector<int> path;
-  for (int v = to; v != -1; v = parent[static_cast<std::size_t>(v)]) {
-    path.push_back(v);
+  if (parent[util::as_index(to)] == -2) return std::nullopt;
+  std::vector<SatId> path;
+  for (int v = to.value(); v != -1; v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(SatId{v});
   }
   std::reverse(path.begin(), path.end());
   return path;
 }
 
-std::optional<std::vector<int>> IslGraph::shortest_path(int from,
-                                                        int to) const {
+std::optional<std::vector<SatId>> IslGraph::shortest_path(SatId from,
+                                                          SatId to) const {
   const auto& c = *constellation_;
   if (!c.active(from) || !c.active(to)) return std::nullopt;
-  if (from == to) return std::vector<int>{from};
+  if (from == to) return std::vector<SatId>{from};
   if (auto p = l_path(c.id_of(from), c.id_of(to))) return p;
   return bfs_path(from, to);
 }
 
-std::optional<int> IslGraph::shortest_hops(int from, int to) const {
+std::optional<int> IslGraph::shortest_hops(SatId from, SatId to) const {
   const auto p = shortest_path(from, to);
   if (!p) return std::nullopt;
   return static_cast<int>(p->size()) - 1;
 }
 
-std::optional<util::Millis> IslGraph::path_delay_ms(int from, int to,
-                                                    double t_s) const {
+std::optional<util::Millis> IslGraph::path_delay(SatId from, SatId to,
+                                                 util::Seconds t) const {
   const auto p = shortest_path(from, to);
   if (!p) return std::nullopt;
   const auto& c = *constellation_;
-  util::Millis total = 0.0;
+  util::Millis total{0.0};
   for (std::size_t i = 0; i + 1 < p->size(); ++i) {
-    const orbit::Vec3 a = c.position_ecef(c.id_of((*p)[i]), t_s);
-    const orbit::Vec3 b = c.position_ecef(c.id_of((*p)[i + 1]), t_s);
-    total += util::propagation_delay_ms(orbit::distance(a, b));
+    const orbit::Vec3 a = c.position_ecef(c.id_of((*p)[i]), t);
+    const orbit::Vec3 b = c.position_ecef(c.id_of((*p)[i + 1]), t);
+    total += util::propagation_delay(util::Km{orbit::distance(a, b)});
   }
   return total;
 }

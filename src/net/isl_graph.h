@@ -12,13 +12,14 @@
 #include <vector>
 
 #include "orbit/constellation.h"
+#include "util/ids.h"
 #include "util/units.h"
 
 namespace starcdn::net {
 
 struct IslEdge {
-  int a = 0;  // linear satellite indices, a < b canonical order
-  int b = 0;
+  util::SatId a{0};  // linear satellite indices, a < b canonical order
+  util::SatId b{0};
   bool intra_orbit = false;
 };
 
@@ -41,29 +42,32 @@ class IslGraph {
   [[nodiscard]] int broken_edge_count() const noexcept { return broken_; }
 
   /// Up to four active neighbours of an active satellite.
-  [[nodiscard]] std::vector<int> neighbors(int sat_index) const;
+  [[nodiscard]] std::vector<util::SatId> neighbors(util::SatId sat) const;
 
   /// Hop count of the shortest path between two active satellites using
   /// only active satellites; nullopt when disconnected. Uses the closed-form
   /// toroidal distance when no inactive satellite blocks the L-shaped path,
   /// otherwise falls back to BFS.
-  [[nodiscard]] std::optional<int> shortest_hops(int from, int to) const;
+  [[nodiscard]] std::optional<int> shortest_hops(util::SatId from,
+                                                 util::SatId to) const;
 
-  /// Propagation delay (ms) along the shortest path at time t, following
-  /// the same path selection as shortest_hops; nullopt when disconnected.
-  [[nodiscard]] std::optional<util::Millis> path_delay_ms(int from, int to,
-                                                          double t_s) const;
+  /// Propagation delay along the shortest path at time t, following the
+  /// same path selection as shortest_hops; nullopt when disconnected.
+  [[nodiscard]] std::optional<util::Millis> path_delay(util::SatId from,
+                                                       util::SatId to,
+                                                       util::Seconds t) const;
 
   /// Full vertex list of one shortest path (inclusive of endpoints).
-  [[nodiscard]] std::optional<std::vector<int>> shortest_path(int from,
-                                                              int to) const;
+  [[nodiscard]] std::optional<std::vector<util::SatId>> shortest_path(
+      util::SatId from, util::SatId to) const;
 
  private:
   [[nodiscard]] bool l_path_clear(orbit::SatelliteId a,
                                   orbit::SatelliteId b) const;
-  [[nodiscard]] std::optional<std::vector<int>> l_path(orbit::SatelliteId a,
-                                                       orbit::SatelliteId b) const;
-  [[nodiscard]] std::optional<std::vector<int>> bfs_path(int from, int to) const;
+  [[nodiscard]] std::optional<std::vector<util::SatId>> l_path(
+      orbit::SatelliteId a, orbit::SatelliteId b) const;
+  [[nodiscard]] std::optional<std::vector<util::SatId>> bfs_path(
+      util::SatId from, util::SatId to) const;
 
   const orbit::Constellation* constellation_;
   std::vector<IslEdge> edges_;

@@ -13,35 +13,36 @@ const char* to_string(LinkType t) noexcept {
   return "?";
 }
 
-double nominal_bandwidth_gbps(LinkType t) noexcept {
+util::BytesPerSec nominal_bandwidth(LinkType t) noexcept {
   switch (t) {
     case LinkType::kIntraOrbitIsl:
     case LinkType::kInterOrbitIsl:
-      return 100.0;
+      return util::gbps(100.0);
     case LinkType::kGsl:
-      return 20.0;
+      return util::gbps(20.0);
   }
-  return 0.0;
+  return util::BytesPerSec{0.0};
 }
 
 LinkDelayStats measure_link_delays(
     const orbit::Constellation& constellation,
-    const std::vector<util::GeoCoord>& ground_points, double duration_s,
-    double step_s, double min_elevation_deg) {
+    const std::vector<util::GeoCoord>& ground_points, util::Seconds duration,
+    util::Seconds step, util::Degrees min_elevation) {
   LinkDelayStats stats;
-  const orbit::VisibilityOracle oracle(min_elevation_deg);
-  for (double t = 0.0; t < duration_s; t += step_s) {
+  const orbit::VisibilityOracle oracle(min_elevation);
+  for (util::Seconds t{0.0}; t < duration; t += step) {
     const auto pos = constellation.all_positions_ecef(t);
     for (int i = 0; i < constellation.size(); ++i) {
-      if (!constellation.active(i)) continue;
-      const auto id = constellation.id_of(i);
+      const util::SatId sat{i};
+      if (!constellation.active(sat)) continue;
+      const auto id = constellation.id_of(sat);
       const auto sample = [&](orbit::SatelliteId nbr,
                               util::RunningStats& dst) {
         if (!constellation.active(nbr)) return;
-        const double d = orbit::distance(
+        const util::Km d{orbit::distance(
             pos[static_cast<std::size_t>(i)],
-            pos[static_cast<std::size_t>(constellation.index_of(nbr))]);
-        dst.add(util::propagation_delay_ms(d));
+            pos[util::as_index(constellation.index_of(nbr))])};
+        dst.add(util::propagation_delay(d).value());
       };
       // Each undirected link sampled once: "next" and "east" only.
       sample(constellation.intra_next(id), stats.intra_orbit_isl);
@@ -52,7 +53,7 @@ LinkDelayStats measure_link_delays(
       // Starlink scheduler does not always pick the highest-elevation one,
       // so Table 1's GSL row spans the whole visible set.
       for (const auto& v : oracle.visible(g, constellation, pos)) {
-        stats.gsl.add(util::propagation_delay_ms(v.range_km));
+        stats.gsl.add(util::propagation_delay(v.range).value());
       }
     }
   }

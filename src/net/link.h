@@ -23,10 +23,13 @@ enum class LinkType : std::uint8_t {
 
 [[nodiscard]] const char* to_string(LinkType t) noexcept;
 
-/// Nominal capacities from Table 1 (Gbps). ISLs are optical (100 Gbps);
-/// GSLs are the scarce resource (20 Gbps) StarCDN tries to offload.
-[[nodiscard]] double nominal_bandwidth_gbps(LinkType t) noexcept;
+/// Nominal capacities from Table 1. ISLs are optical (100 Gbps); GSLs are
+/// the scarce resource (20 Gbps) StarCDN tries to offload. Render with
+/// util::to_gbps for the paper's units.
+[[nodiscard]] util::BytesPerSec nominal_bandwidth(LinkType t) noexcept;
 
+/// Delay samples are accumulated in milliseconds (RunningStats is a raw
+/// moment sink; the strong boundary is measure_link_delays' signature).
 struct LinkDelayStats {
   util::RunningStats intra_orbit_isl;
   util::RunningStats inter_orbit_isl;
@@ -34,12 +37,13 @@ struct LinkDelayStats {
 };
 
 /// Sample propagation delays of every grid ISL plus user->satellite GSLs
-/// over `duration_s` at `step_s` resolution. GSL samples are taken from the
+/// over `duration` at `step` resolution. GSL samples are taken from the
 /// given ground points to their highest-elevation visible satellite, which
 /// matches how Table 1's GSL row was measured (serving link, not all links).
 [[nodiscard]] LinkDelayStats measure_link_delays(
     const orbit::Constellation& constellation,
-    const std::vector<util::GeoCoord>& ground_points, double duration_s,
-    double step_s, double min_elevation_deg = 25.0);
+    const std::vector<util::GeoCoord>& ground_points, util::Seconds duration,
+    util::Seconds step,
+    util::Degrees min_elevation = util::Degrees{25.0});
 
 }  // namespace starcdn::net

@@ -25,19 +25,19 @@ Constellation::Constellation(const WalkerParams& params) : params_(params) {
   const int S = params.slots_per_plane;
   elements_.resize(static_cast<std::size_t>(P) * S);
   active_.assign(elements_.size(), true);
-  const double a = util::kEarthRadiusKm + params.altitude_km;
+  const util::Km a = util::kEarthRadius + params.altitude;
   for (int p = 0; p < P; ++p) {
     for (int s = 0; s < S; ++s) {
       CircularElements e;
-      e.semi_major_axis_km = a;
-      e.inclination_rad = util::deg2rad(params.inclination_deg);
-      e.raan_rad = 2.0 * M_PI * p / P;
+      e.semi_major_axis = a;
+      e.inclination = util::to_radians(params.inclination);
+      e.raan = util::Radians{2.0 * M_PI * p / P};
       // Walker-delta phasing: in-plane spacing plus per-plane phase offset.
-      e.arg_latitude_epoch_rad =
+      e.arg_latitude_epoch = util::Radians{
           2.0 * M_PI * (static_cast<double>(s) / S +
                         static_cast<double>(params.phase_factor) * p /
-                            (static_cast<double>(P) * S));
-      elements_[static_cast<std::size_t>(index_of({p, s}))] = e;
+                            (static_cast<double>(P) * S))};
+      elements_[util::as_index(index_of(grid_id(p, s)))] = e;
     }
   }
   recompute_max_radius();
@@ -54,36 +54,36 @@ Constellation::Constellation(const WalkerParams& grid_shape,
   const int S = params_.slots_per_plane;
   for (const Tle& t : tles) {
     const CircularElements e = t.to_circular();
-    const double raan_frac = e.raan_rad / (2.0 * M_PI);
+    const double raan_frac = e.raan.value() / (2.0 * M_PI);
     const int p = wrap(static_cast<int>(std::lround(raan_frac * P)), P);
     const double phase_offset =
         static_cast<double>(params_.phase_factor) * p /
         (static_cast<double>(P) * S);
-    double u_frac =
-        e.arg_latitude_epoch_rad / (2.0 * M_PI) - phase_offset;
+    double u_frac = e.arg_latitude_epoch.value() / (2.0 * M_PI) - phase_offset;
     u_frac -= std::floor(u_frac);
     const int s = wrap(static_cast<int>(std::lround(u_frac * S)), S);
-    const int idx = index_of({p, s});
-    elements_[static_cast<std::size_t>(idx)] = e;
-    active_[static_cast<std::size_t>(idx)] = true;
+    const std::size_t idx = util::as_index(index_of(grid_id(p, s)));
+    elements_[idx] = e;
+    active_[idx] = true;
   }
   recompute_max_radius();
 }
 
 void Constellation::recompute_max_radius() noexcept {
-  max_orbital_radius_km_ = 0.0;
+  max_orbital_radius_ = util::Km{0.0};
   for (const auto& e : elements_) {
-    max_orbital_radius_km_ = std::max(max_orbital_radius_km_,
-                                      e.semi_major_axis_km);
+    max_orbital_radius_ = std::max(max_orbital_radius_, e.semi_major_axis);
   }
 }
 
-int Constellation::index_of(SatelliteId id) const noexcept {
-  return id.plane * params_.slots_per_plane + id.slot;
+util::SatId Constellation::index_of(SatelliteId id) const noexcept {
+  return util::SatId{id.plane.value() * params_.slots_per_plane +
+                     id.slot.value()};
 }
 
-SatelliteId Constellation::id_of(int index) const noexcept {
-  return {index / params_.slots_per_plane, index % params_.slots_per_plane};
+SatelliteId Constellation::id_of(util::SatId index) const noexcept {
+  return grid_id(index.value() / params_.slots_per_plane,
+                 index.value() % params_.slots_per_plane);
 }
 
 int Constellation::active_count() const noexcept {
@@ -111,46 +111,50 @@ void Constellation::knock_out_random(double fraction, util::Rng& rng) {
 }
 
 void Constellation::set_active(SatelliteId id, bool active_flag) noexcept {
-  active_[static_cast<std::size_t>(index_of(id))] = active_flag;
+  active_[util::as_index(index_of(id))] = active_flag;
 }
 
-Vec3 Constellation::position_ecef(SatelliteId id, double t_s) const noexcept {
-  return orbit::ecef_position(elements(id), t_s);
+Vec3 Constellation::position_ecef(SatelliteId id,
+                                  util::Seconds t) const noexcept {
+  return orbit::ecef_position(elements(id), t);
 }
 
-std::vector<Vec3> Constellation::all_positions_ecef(double t_s) const {
+std::vector<Vec3> Constellation::all_positions_ecef(util::Seconds t) const {
   std::vector<Vec3> out(static_cast<std::size_t>(size()));
   for (int i = 0; i < size(); ++i) {
     out[static_cast<std::size_t>(i)] =
-        orbit::ecef_position(elements_[static_cast<std::size_t>(i)], t_s);
+        orbit::ecef_position(elements_[static_cast<std::size_t>(i)], t);
   }
   return out;
 }
 
 SatelliteId Constellation::intra_next(SatelliteId id) const noexcept {
-  return {id.plane, wrap(id.slot + 1, params_.slots_per_plane)};
+  return {id.plane,
+          util::SlotIdx{wrap(id.slot.value() + 1, params_.slots_per_plane)}};
 }
 SatelliteId Constellation::intra_prev(SatelliteId id) const noexcept {
-  return {id.plane, wrap(id.slot - 1, params_.slots_per_plane)};
+  return {id.plane,
+          util::SlotIdx{wrap(id.slot.value() - 1, params_.slots_per_plane)}};
 }
 SatelliteId Constellation::inter_east(SatelliteId id) const noexcept {
-  return {wrap(id.plane + 1, params_.planes), id.slot};
+  return {util::PlaneIdx{wrap(id.plane.value() + 1, params_.planes)}, id.slot};
 }
 SatelliteId Constellation::inter_west(SatelliteId id) const noexcept {
-  return {wrap(id.plane - 1, params_.planes), id.slot};
+  return {util::PlaneIdx{wrap(id.plane.value() - 1, params_.planes)}, id.slot};
 }
 SatelliteId Constellation::plane_offset(SatelliteId id, int dp) const noexcept {
-  return {wrap(id.plane + dp, params_.planes), id.slot};
+  return {util::PlaneIdx{wrap(id.plane.value() + dp, params_.planes)}, id.slot};
 }
 SatelliteId Constellation::slot_offset(SatelliteId id, int ds) const noexcept {
-  return {id.plane, wrap(id.slot + ds, params_.slots_per_plane)};
+  return {id.plane,
+          util::SlotIdx{wrap(id.slot.value() + ds, params_.slots_per_plane)}};
 }
 
 int Constellation::grid_hops(SatelliteId a, SatelliteId b) const noexcept {
   const int P = params_.planes;
   const int S = params_.slots_per_plane;
-  const int dp = std::abs(a.plane - b.plane);
-  const int ds = std::abs(a.slot - b.slot);
+  const int dp = std::abs(a.plane.value() - b.plane.value());
+  const int ds = std::abs(a.slot.value() - b.slot.value());
   return std::min(dp, P - dp) + std::min(ds, S - ds);
 }
 

@@ -16,25 +16,43 @@
 #include "orbit/propagator.h"
 #include "orbit/tle.h"
 #include "orbit/vec3.h"
+#include "util/ids.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace starcdn::orbit {
 
 /// Grid coordinate of a satellite slot. `plane` indexes the orbital plane
 /// (RAAN order), `slot` the position within the plane (argument-of-latitude
-/// order). Both wrap: the grid is a torus.
+/// order). Both wrap: the grid is a torus. The two coordinates are distinct
+/// strong types, so transposing them no longer compiles.
 struct SatelliteId {
-  int plane = 0;
-  int slot = 0;
+  util::PlaneIdx plane{0};
+  util::SlotIdx slot{0};
+
+  constexpr SatelliteId() = default;
+  constexpr SatelliteId(util::PlaneIdx p, util::SlotIdx s) noexcept
+      : plane(p), slot(s) {}
+  /// Grid literals like `{3, 5}` stay ergonomic: a (plane, slot) pair of
+  /// ints is unambiguous here, and the members remain strongly typed for
+  /// every read. Single ints still do not convert (no one-arg ctor).
+  constexpr SatelliteId(int p, int s) noexcept
+      : plane(util::PlaneIdx{p}), slot(util::SlotIdx{s}) {}
 
   friend bool operator==(const SatelliteId&, const SatelliteId&) = default;
 };
 
+/// Brace-friendly constructor from raw grid coordinates; the single named
+/// entry point for int -> (PlaneIdx, SlotIdx).
+[[nodiscard]] constexpr SatelliteId grid_id(int plane, int slot) noexcept {
+  return {util::PlaneIdx{plane}, util::SlotIdx{slot}};
+}
+
 struct WalkerParams {
   int planes = 72;
   int slots_per_plane = 18;
-  double inclination_deg = 53.0;
-  double altitude_km = 550.0;
+  util::Degrees inclination{53.0};
+  util::Km altitude{550.0};
   /// Walker phasing factor F: slot k of plane p leads by F*p/(P*S) orbits.
   int phase_factor = 1;
 };
@@ -60,14 +78,14 @@ class Constellation {
   }
   [[nodiscard]] const WalkerParams& params() const noexcept { return params_; }
 
-  [[nodiscard]] int index_of(SatelliteId id) const noexcept;
-  [[nodiscard]] SatelliteId id_of(int index) const noexcept;
+  [[nodiscard]] util::SatId index_of(SatelliteId id) const noexcept;
+  [[nodiscard]] SatelliteId id_of(util::SatId index) const noexcept;
 
   [[nodiscard]] bool active(SatelliteId id) const noexcept {
-    return active_[static_cast<std::size_t>(index_of(id))];
+    return active_[util::as_index(index_of(id))];
   }
-  [[nodiscard]] bool active(int index) const noexcept {
-    return active_[static_cast<std::size_t>(index)];
+  [[nodiscard]] bool active(util::SatId index) const noexcept {
+    return active_[util::as_index(index)];
   }
   [[nodiscard]] int active_count() const noexcept;
 
@@ -77,22 +95,22 @@ class Constellation {
   void set_active(SatelliteId id, bool active_flag) noexcept;
 
   [[nodiscard]] const CircularElements& elements(SatelliteId id) const noexcept {
-    return elements_[static_cast<std::size_t>(index_of(id))];
+    return elements_[util::as_index(index_of(id))];
   }
 
-  /// Largest orbital radius (semi-major axis, km) over all slots; bounds the
+  /// Largest orbital radius (semi-major axis) over all slots; bounds the
   /// slant range any satellite of this constellation can have at a given
   /// elevation (used by VisibilityOracle's cheap reject).
-  [[nodiscard]] double max_orbital_radius_km() const noexcept {
-    return max_orbital_radius_km_;
+  [[nodiscard]] util::Km max_orbital_radius() const noexcept {
+    return max_orbital_radius_;
   }
 
-  /// ECEF position of one satellite at time t (seconds past epoch).
-  [[nodiscard]] Vec3 position_ecef(SatelliteId id, double t_s) const noexcept;
+  /// ECEF position of one satellite at time t past epoch.
+  [[nodiscard]] Vec3 position_ecef(SatelliteId id, util::Seconds t) const noexcept;
 
   /// ECEF positions of all slots (inactive slots still get their nominal
   /// position; callers must consult `active`). Size == size().
-  [[nodiscard]] std::vector<Vec3> all_positions_ecef(double t_s) const;
+  [[nodiscard]] std::vector<Vec3> all_positions_ecef(util::Seconds t) const;
 
   // --- Toroidal grid neighbours (+grid ISL endpoints) ---------------------
   [[nodiscard]] SatelliteId intra_next(SatelliteId id) const noexcept;   // ahead in orbit
@@ -113,7 +131,7 @@ class Constellation {
   WalkerParams params_;
   std::vector<CircularElements> elements_;
   std::vector<bool> active_;
-  double max_orbital_radius_km_ = 0.0;
+  util::Km max_orbital_radius_{0.0};
 };
 
 }  // namespace starcdn::orbit

@@ -4,26 +4,33 @@
 // operational shell is < 0.0002), so the element set reduces to semi-major
 // axis, inclination, RAAN and the argument of latitude at epoch. The TLE
 // parser maps general element sets onto this circular model.
+//
+// All angular fields are strong util::Radians and lengths are util::Km —
+// constructing an element set from degrees without going through
+// util::to_radians is a compile error.
 #pragma once
+
+#include "util/units.h"
 
 namespace starcdn::orbit {
 
 struct CircularElements {
-  double semi_major_axis_km = 6921.0;  // 550 km altitude + Earth radius
-  double inclination_rad = 0.0;
-  double raan_rad = 0.0;            // right ascension of ascending node
-  double arg_latitude_epoch_rad = 0.0;  // u0 = omega + M0 for circular orbits
+  util::Km semi_major_axis{6921.0};  // 550 km altitude + Earth radius
+  util::Radians inclination{0.0};
+  util::Radians raan{0.0};  // right ascension of ascending node
+  util::Radians arg_latitude_epoch{0.0};  // u0 = omega + M0, circular orbits
 };
 
 /// Full Keplerian element set for elliptical orbits (TLE fidelity path);
 /// the circular model above is the fast path for the operational shell.
+/// Eccentricity is dimensionless and stays a raw double.
 struct KeplerianElements {
-  double semi_major_axis_km = 6921.0;
+  util::Km semi_major_axis{6921.0};
   double eccentricity = 0.0;
-  double inclination_rad = 0.0;
-  double raan_rad = 0.0;
-  double arg_perigee_rad = 0.0;
-  double mean_anomaly_epoch_rad = 0.0;
+  util::Radians inclination{0.0};
+  util::Radians raan{0.0};
+  util::Radians arg_perigee{0.0};
+  util::Radians mean_anomaly_epoch{0.0};
 };
 
 }  // namespace starcdn::orbit

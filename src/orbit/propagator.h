@@ -4,53 +4,61 @@
 // use of Microsoft CosmicBeats: it produces satellite positions over time,
 // ground tracks (Fig. 3), and the inputs for visibility and link-delay
 // computation (Table 1).
+//
+// Times are strong util::Seconds and angles util::Radians; Vec3 components
+// are implicit km (see DESIGN.md §10 for why the vector stays raw).
 #pragma once
 
 #include "orbit/elements.h"
 #include "orbit/vec3.h"
 #include "util/geo.h"
+#include "util/units.h"
 
 namespace starcdn::orbit {
 
-/// Mean motion n = sqrt(mu/a^3) in rad/s.
+/// Mean motion n = sqrt(mu/a^3) in rad/s (rate composite; raw by design).
 [[nodiscard]] double mean_motion_rad_s(const CircularElements& e) noexcept;
 
-/// Orbital period in seconds (~5'740 s, i.e. about 95 min, for 550 km).
-[[nodiscard]] double orbital_period_s(const CircularElements& e) noexcept;
+/// Orbital period (~5'740 s, i.e. about 95 min, for 550 km).
+[[nodiscard]] util::Seconds orbital_period(const CircularElements& e) noexcept;
 
-/// Position in the Earth-Centered Inertial frame at `t` seconds past epoch.
-[[nodiscard]] Vec3 eci_position(const CircularElements& e, double t_s) noexcept;
+/// Position in the Earth-Centered Inertial frame at `t` past epoch.
+[[nodiscard]] Vec3 eci_position(const CircularElements& e,
+                                util::Seconds t) noexcept;
 
 /// Rotate ECI -> ECEF given elapsed time (Earth rotates by w_e * t; the
 /// epoch is defined with ECI and ECEF aligned, which is sufficient for a
 /// self-consistent simulation).
-[[nodiscard]] Vec3 eci_to_ecef(const Vec3& eci, double t_s) noexcept;
+[[nodiscard]] Vec3 eci_to_ecef(const Vec3& eci, util::Seconds t) noexcept;
 
 /// Satellite position directly in ECEF.
-[[nodiscard]] Vec3 ecef_position(const CircularElements& e, double t_s) noexcept;
+[[nodiscard]] Vec3 ecef_position(const CircularElements& e,
+                                 util::Seconds t) noexcept;
 
 /// Geodetic (spherical-Earth) <-> ECEF for ground points at given altitude.
 [[nodiscard]] Vec3 geodetic_to_ecef(const util::GeoCoord& g,
-                                    double altitude_km = 0.0) noexcept;
+                                    util::Km altitude = util::Km{0.0}) noexcept;
 [[nodiscard]] util::GeoCoord ecef_to_geodetic(const Vec3& ecef) noexcept;
 
 /// Sub-satellite point (ground track sample) at time t.
 [[nodiscard]] util::GeoCoord ground_track_point(const CircularElements& e,
-                                                double t_s) noexcept;
+                                                util::Seconds t) noexcept;
 
 // --- Elliptical (full Keplerian) propagation --------------------------------
 
 /// Solve Kepler's equation M = E - e*sin(E) for the eccentric anomaly E
 /// via Newton iteration; accurate to ~1e-12 rad for e < 0.9.
-[[nodiscard]] double solve_kepler(double mean_anomaly_rad,
-                                  double eccentricity) noexcept;
+[[nodiscard]] util::Radians solve_kepler(util::Radians mean_anomaly,
+                                         double eccentricity) noexcept;
 
 [[nodiscard]] double mean_motion_rad_s(const KeplerianElements& e) noexcept;
 
-/// ECI position of an elliptical orbit at `t` seconds past epoch.
-[[nodiscard]] Vec3 eci_position(const KeplerianElements& e, double t_s) noexcept;
+/// ECI position of an elliptical orbit at `t` past epoch.
+[[nodiscard]] Vec3 eci_position(const KeplerianElements& e,
+                                util::Seconds t) noexcept;
 
 /// ECEF position of an elliptical orbit.
-[[nodiscard]] Vec3 ecef_position(const KeplerianElements& e, double t_s) noexcept;
+[[nodiscard]] Vec3 ecef_position(const KeplerianElements& e,
+                                 util::Seconds t) noexcept;
 
 }  // namespace starcdn::orbit

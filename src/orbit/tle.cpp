@@ -28,28 +28,30 @@ double field(std::string_view line, std::size_t pos, std::size_t len) {
 }  // namespace
 
 CircularElements Tle::to_circular() const noexcept {
+  using util::Degrees;
   CircularElements e;
   // a^3 = mu / n^2 with n in rad/s.
-  const double n_rad_s = mean_motion_rev_day * 2.0 * M_PI / util::kDay;
-  e.semi_major_axis_km =
-      std::cbrt(util::kEarthMuKm3PerS2 / (n_rad_s * n_rad_s));
-  e.inclination_rad = util::deg2rad(inclination_deg);
-  e.raan_rad = util::deg2rad(raan_deg);
-  e.arg_latitude_epoch_rad =
-      util::deg2rad(std::fmod(arg_perigee_deg + mean_anomaly_deg, 360.0));
+  const double n_rad_s = mean_motion_rev_day * 2.0 * M_PI / util::kDay.value();
+  e.semi_major_axis =
+      util::Km{std::cbrt(util::kEarthMuKm3PerS2 / (n_rad_s * n_rad_s))};
+  e.inclination = util::to_radians(Degrees{inclination_deg});
+  e.raan = util::to_radians(Degrees{raan_deg});
+  e.arg_latitude_epoch = util::to_radians(
+      Degrees{std::fmod(arg_perigee_deg + mean_anomaly_deg, 360.0)});
   return e;
 }
 
 KeplerianElements Tle::to_keplerian() const noexcept {
+  using util::Degrees;
   KeplerianElements e;
-  const double n_rad_s = mean_motion_rev_day * 2.0 * M_PI / util::kDay;
-  e.semi_major_axis_km =
-      std::cbrt(util::kEarthMuKm3PerS2 / (n_rad_s * n_rad_s));
+  const double n_rad_s = mean_motion_rev_day * 2.0 * M_PI / util::kDay.value();
+  e.semi_major_axis =
+      util::Km{std::cbrt(util::kEarthMuKm3PerS2 / (n_rad_s * n_rad_s))};
   e.eccentricity = eccentricity;
-  e.inclination_rad = util::deg2rad(inclination_deg);
-  e.raan_rad = util::deg2rad(raan_deg);
-  e.arg_perigee_rad = util::deg2rad(arg_perigee_deg);
-  e.mean_anomaly_epoch_rad = util::deg2rad(mean_anomaly_deg);
+  e.inclination = util::to_radians(Degrees{inclination_deg});
+  e.raan = util::to_radians(Degrees{raan_deg});
+  e.arg_perigee = util::to_radians(Degrees{arg_perigee_deg});
+  e.mean_anomaly_epoch = util::to_radians(Degrees{mean_anomaly_deg});
   return e;
 }
 

@@ -7,26 +7,27 @@
 
 namespace starcdn::orbit {
 
-double elevation_deg(const Vec3& ground_ecef, const Vec3& sat_ecef) noexcept {
+util::Degrees elevation(const Vec3& ground_ecef, const Vec3& sat_ecef) noexcept {
   const Vec3 up = ground_ecef.normalized();
   const Vec3 to_sat = sat_ecef - ground_ecef;
   const double d = to_sat.norm();
-  if (d <= 0.0) return 90.0;
+  if (d <= 0.0) return util::Degrees{90.0};
   const double sin_el = up.dot(to_sat) / d;
-  return util::rad2deg(std::asin(std::clamp(sin_el, -1.0, 1.0)));
+  return util::to_degrees(
+      util::Radians{std::asin(std::clamp(sin_el, -1.0, 1.0))});
 }
 
-double slant_range_km(const Vec3& ground_ecef, const Vec3& sat_ecef) noexcept {
-  return distance(ground_ecef, sat_ecef);
+util::Km slant_range(const Vec3& ground_ecef, const Vec3& sat_ecef) noexcept {
+  return util::Km{distance(ground_ecef, sat_ecef)};
 }
 
-double horizon_slant_range_km(double orbit_radius_km, double ground_radius_km,
-                              double elevation_deg) noexcept {
-  const double el = util::deg2rad(elevation_deg);
-  const double rc = ground_radius_km * std::cos(el);
-  const double under = orbit_radius_km * orbit_radius_km - rc * rc;
-  if (under <= 0.0) return 0.0;  // orbit never clears the mask
-  return std::sqrt(under) - ground_radius_km * std::sin(el);
+util::Km horizon_slant_range(util::Km orbit_radius, util::Km ground_radius,
+                             util::Degrees min_elevation) noexcept {
+  const double el = util::to_radians(min_elevation).value();
+  const double rc = ground_radius.value() * std::cos(el);
+  const double under = orbit_radius.value() * orbit_radius.value() - rc * rc;
+  if (under <= 0.0) return util::Km{0.0};  // orbit never clears the mask
+  return util::Km{std::sqrt(under) - ground_radius.value() * std::sin(el)};
 }
 
 std::vector<VisibleSat> VisibilityOracle::visible(
@@ -45,24 +46,26 @@ std::vector<VisibleSat> VisibilityOracle::visible_from_ecef(
   // actual orbital radius, so higher-altitude shells are never culled
   // (at 550 km / 25 deg this is ~1,124 km) — is below the mask; skip the
   // asin for those. +1 km absorbs floating-point slack.
-  const double reject_km =
-      horizon_slant_range_km(constellation.max_orbital_radius_km(), g.norm(),
-                             min_elevation_deg_) +
-      1.0;
+  const util::Km reject =
+      horizon_slant_range(constellation.max_orbital_radius(),
+                          util::Km{g.norm()}, min_elevation_) +
+      util::Km{1.0};
   std::vector<VisibleSat> out;
   for (int i = 0; i < constellation.size(); ++i) {
-    if (!constellation.active(i)) continue;
+    const util::SatId sat{i};
+    if (!constellation.active(sat)) continue;
     const Vec3& s = sat_positions_ecef[static_cast<std::size_t>(i)];
-    const double range = slant_range_km(g, s);
-    if (range > reject_km) continue;
-    const double el = elevation_deg(g, s);
-    if (el >= min_elevation_deg_) {
-      out.push_back({i, el, range});
+    const util::Km range = slant_range(g, s);
+    if (range > reject) continue;
+    const util::Degrees el = elevation(g, s);
+    if (el >= min_elevation_) {
+      out.push_back({sat, el, range});
     }
   }
-  std::sort(out.begin(), out.end(), [](const VisibleSat& a, const VisibleSat& b) {
-    return a.elevation_deg > b.elevation_deg;
-  });
+  std::sort(out.begin(), out.end(),
+            [](const VisibleSat& a, const VisibleSat& b) {
+              return a.elevation > b.elevation;
+            });
   return out;
 }
 

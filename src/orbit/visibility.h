@@ -12,41 +12,44 @@
 #include "orbit/constellation.h"
 #include "orbit/vec3.h"
 #include "util/geo.h"
+#include "util/ids.h"
+#include "util/units.h"
 
 namespace starcdn::orbit {
 
-/// Elevation angle (degrees) of a satellite at `sat_ecef` as seen from the
-/// ground point `ground_ecef`; negative when below the horizon.
-[[nodiscard]] double elevation_deg(const Vec3& ground_ecef,
+/// Elevation angle of a satellite at `sat_ecef` as seen from the ground
+/// point `ground_ecef`; negative when below the horizon.
+[[nodiscard]] util::Degrees elevation(const Vec3& ground_ecef,
+                                      const Vec3& sat_ecef) noexcept;
+
+/// Slant range between a ground point and a satellite.
+[[nodiscard]] util::Km slant_range(const Vec3& ground_ecef,
                                    const Vec3& sat_ecef) noexcept;
 
-/// Slant range in km between a ground point and a satellite.
-[[nodiscard]] double slant_range_km(const Vec3& ground_ecef,
-                                    const Vec3& sat_ecef) noexcept;
-
-/// Maximum slant range (km) at which a satellite on an orbit of radius
-/// `orbit_radius_km` can sit at or above `elevation_deg` as seen from a
-/// ground point `ground_radius_km` from the geocentre:
+/// Maximum slant range at which a satellite on an orbit of radius
+/// `orbit_radius` can sit at or above `min_elevation` as seen from a
+/// ground point `ground_radius` from the geocentre:
 ///   sqrt(r^2 - (R cos el)^2) - R sin el.
 /// Any satellite farther away is guaranteed below the mask.
-[[nodiscard]] double horizon_slant_range_km(double orbit_radius_km,
-                                            double ground_radius_km,
-                                            double elevation_deg) noexcept;
+[[nodiscard]] util::Km horizon_slant_range(util::Km orbit_radius,
+                                           util::Km ground_radius,
+                                           util::Degrees min_elevation) noexcept;
 
 struct VisibleSat {
-  int sat_index = 0;       // linear index into the constellation
-  double elevation_deg = 0.0;
-  double range_km = 0.0;
+  util::SatId sat = util::SatId{0};  // linear index into the constellation
+  util::Degrees elevation{0.0};
+  util::Km range{0.0};
 };
 
 /// Computes per-ground-point visible sets against a position snapshot.
 class VisibilityOracle {
  public:
-  explicit VisibilityOracle(double min_elevation_deg = 25.0) noexcept
-      : min_elevation_deg_(min_elevation_deg) {}
+  explicit VisibilityOracle(
+      util::Degrees min_elevation = util::Degrees{25.0}) noexcept
+      : min_elevation_(min_elevation) {}
 
-  [[nodiscard]] double min_elevation_deg() const noexcept {
-    return min_elevation_deg_;
+  [[nodiscard]] util::Degrees min_elevation() const noexcept {
+    return min_elevation_;
   }
 
   /// All active satellites above the mask, sorted by descending elevation
@@ -64,7 +67,7 @@ class VisibilityOracle {
       const std::vector<Vec3>& sat_positions_ecef) const;
 
  private:
-  double min_elevation_deg_;
+  util::Degrees min_elevation_;
 };
 
 }  // namespace starcdn::orbit

@@ -7,6 +7,7 @@
 #include "core/bucket_mapper.h"
 #include "net/transport.h"
 #include "util/hash.h"
+#include "util/ids.h"
 
 namespace starcdn::replay {
 
@@ -143,24 +144,25 @@ ReplayReport replay_cluster(const orbit::Constellation& constellation,
   std::uint64_t request_counter = 0;
   std::uint64_t rpc_id = 0;
   const auto channel_of = [&](orbit::SatelliteId id) -> Channel& {
-    return *cluster.channels[static_cast<std::size_t>(
-        constellation.index_of(id))];
+    return *cluster.channels[util::as_index(constellation.index_of(id))];
   };
 
   for (const auto& r : requests) {
     ++report.requests;
-    const std::size_t epoch = schedule.epoch_of(r.timestamp_s);
+    const util::EpochIdx epoch =
+        schedule.epoch_of(util::Seconds{r.timestamp_s});
     const std::uint64_t user =
         util::splitmix64(request_counter++) %
         static_cast<std::uint64_t>(config.users_per_city);
-    const auto fc = schedule.first_contact(epoch, r.location, user);
-    if (fc.sat_index < 0) {
+    const auto fc =
+        schedule.first_contact(epoch, util::CityId{r.location}, user);
+    if (fc.sat.value() < 0) {
       ++report.misses;
       report.uplink_bytes += r.size;
       continue;
     }
-    const auto fc_id = constellation.id_of(fc.sat_index);
-    const int bucket = mapper.bucket_of_object(r.object);
+    const auto fc_id = constellation.id_of(fc.sat);
+    const util::BucketId bucket = mapper.bucket_of_object(r.object);
     const auto owner = mapper.owner(fc_id, bucket);
     const orbit::SatelliteId serving = owner.value_or(fc_id);
 

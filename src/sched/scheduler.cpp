@@ -11,12 +11,13 @@ namespace starcdn::sched {
 
 LinkSchedule::LinkSchedule(const orbit::Constellation& constellation,
                            const std::vector<util::City>& cities,
-                           double duration_s, const SchedulerParams& params)
+                           util::Seconds duration,
+                           const SchedulerParams& params)
     : params_(params), n_cities_(cities.size()) {
   epochs_ = static_cast<std::size_t>(
-      std::max(1.0, std::ceil(duration_s / params.epoch_s)));
+      std::max(1.0, std::ceil(duration / params.epoch)));
   table_.resize(epochs_ * n_cities_);
-  const orbit::VisibilityOracle oracle(params.min_elevation_deg);
+  const orbit::VisibilityOracle oracle(params.min_elevation);
   // City ECEF points are epoch-invariant: convert once instead of inside
   // every visibility scan.
   std::vector<orbit::Vec3> city_ecef(n_cities_);
@@ -28,7 +29,7 @@ LinkSchedule::LinkSchedule(const orbit::Constellation& constellation,
   // plus disjoint writes keep the table bitwise identical for any thread
   // count.
   util::parallel_for(epochs_, [&](std::size_t e) {
-    const double t = static_cast<double>(e) * params_.epoch_s;
+    const util::Seconds t = static_cast<double>(e) * params_.epoch;
     const auto positions = constellation.all_positions_ecef(t);
     for (std::size_t c = 0; c < n_cities_; ++c) {
       const auto visible = oracle.visible_from_ecef(city_ecef[c],
@@ -40,26 +41,29 @@ LinkSchedule::LinkSchedule(const orbit::Constellation& constellation,
       cell.reserve(k);
       for (std::size_t i = 0; i < k; ++i) {
         cell.push_back(
-            {visible[i].sat_index,
-             static_cast<float>(util::propagation_delay_ms(visible[i].range_km))});
+            {visible[i].sat,
+             static_cast<float>(
+                 util::propagation_delay(visible[i].range).value())});
       }
     }
   });
 }
 
-std::size_t LinkSchedule::epoch_of(double t_s) const noexcept {
-  const auto e = static_cast<std::size_t>(std::max(0.0, t_s) / params_.epoch_s);
-  return std::min(e, epochs_ - 1);
+util::EpochIdx LinkSchedule::epoch_of(util::Seconds t) const noexcept {
+  const auto e = static_cast<std::size_t>(std::max(0.0, t.value()) /
+                                          params_.epoch.value());
+  return util::EpochIdx{std::min(e, epochs_ - 1)};
 }
 
-Candidate LinkSchedule::first_contact(std::size_t epoch, std::size_t city,
+Candidate LinkSchedule::first_contact(util::EpochIdx epoch, util::CityId city,
                                       std::uint64_t user_id) const noexcept {
   const auto& cell = candidates(epoch, city);
   if (cell.empty()) return {};
   // Hash (user, epoch) so each user sticks to one satellite within an epoch
   // but the population reshuffles when the scheduler reconfigures.
   const std::uint64_t h = util::hash_combine(
-      util::splitmix64(user_id), util::splitmix64(epoch * 1315423911ULL));
+      util::splitmix64(user_id),
+      util::splitmix64(epoch.value() * 1315423911ULL));
   return cell[h % cell.size()];
 }
 

@@ -15,17 +15,23 @@
 #include "orbit/constellation.h"
 #include "orbit/visibility.h"
 #include "util/geo.h"
+#include "util/ids.h"
+#include "util/units.h"
 
 namespace starcdn::sched {
 
 struct Candidate {
-  std::int32_t sat_index = -1;
-  float gsl_one_way_ms = 0.0F;  // from the slant range at epoch start
+  util::SatId sat = util::kNoSat;
+  /// One-way GSL delay from the slant range at epoch start. Intentionally a
+  /// raw float, not util::Millis: the schedule table is the simulator's
+  /// largest resident structure and the paper's precision needs fit in 32
+  /// bits (see DESIGN.md §10). Widen via Millis{candidate.gsl_one_way_ms}.
+  float gsl_one_way_ms = 0.0F;
 };
 
 struct SchedulerParams {
-  double epoch_s = 15.0;           // Starlink reconfigure interval
-  double min_elevation_deg = 25.0;
+  util::Seconds epoch{15.0};       // Starlink reconfigure interval
+  util::Degrees min_elevation{25.0};
   int candidates_per_cell = 10;    // top-K satellites kept per (epoch, city)
   int users_per_city = 64;         // logical user terminals per city
 };
@@ -34,27 +40,30 @@ struct SchedulerParams {
 class LinkSchedule {
  public:
   LinkSchedule(const orbit::Constellation& constellation,
-               const std::vector<util::City>& cities, double duration_s,
+               const std::vector<util::City>& cities, util::Seconds duration,
                const SchedulerParams& params = {});
 
   [[nodiscard]] std::size_t epochs() const noexcept { return epochs_; }
-  [[nodiscard]] double epoch_s() const noexcept { return params_.epoch_s; }
+  [[nodiscard]] util::Seconds epoch_duration() const noexcept {
+    return params_.epoch;
+  }
   [[nodiscard]] const SchedulerParams& params() const noexcept {
     return params_;
   }
 
-  [[nodiscard]] std::size_t epoch_of(double t_s) const noexcept;
+  [[nodiscard]] util::EpochIdx epoch_of(util::Seconds t) const noexcept;
 
   /// Candidate set for a city at an epoch (possibly empty during a
   /// coverage gap).
   [[nodiscard]] const std::vector<Candidate>& candidates(
-      std::size_t epoch, std::size_t city) const noexcept {
-    return table_[epoch * n_cities_ + city];
+      util::EpochIdx epoch, util::CityId city) const noexcept {
+    return table_[epoch.value() * n_cities_ + city.value()];
   }
 
   /// First-contact satellite for a logical user, stable within an epoch and
   /// re-randomized across epochs (the scheduler's 15 s reshuffle).
-  [[nodiscard]] Candidate first_contact(std::size_t epoch, std::size_t city,
+  [[nodiscard]] Candidate first_contact(util::EpochIdx epoch,
+                                        util::CityId city,
                                         std::uint64_t user_id) const noexcept;
 
   /// Mean number of visible satellites across cells (sanity statistic; the

@@ -163,7 +163,7 @@ double WorkloadModel::weight(ObjectId id, std::size_t city) const {
       region_affinity(cities[home].region, cities[city].region, params_);
   if (!crosses_region(id, cities[city].region, gate)) return 0.0;
   const double dist =
-      util::haversine_km(cities[home].coord, cities[city].coord);
+      util::haversine(cities[home].coord, cities[city].coord).value();
   return base * std::exp(-dist / static_cast<double>(reach_km_[i]));
 }
 
@@ -176,7 +176,7 @@ void WorkloadModel::build_city_tables() {
     CityTable& t = city_tables_[c];
     for (std::size_t i = 0; i < sizes_.size(); ++i) {
       const double w = weight(static_cast<ObjectId>(i), c);
-      if (w > kCutoff * base_weight_[i]) {
+      if (w > kCutoff * static_cast<double>(base_weight_[i])) {
         t.objects.push_back(static_cast<ObjectId>(i));
         t.weights.push_back(w);
       }
@@ -191,7 +191,7 @@ std::vector<double> WorkloadModel::diurnal_minute_weights(
   const double lon = (*cities_)[city].coord.lon_deg;
   const double tz_offset_h = lon / 15.0;
   const std::size_t minutes = static_cast<std::size_t>(
-      std::max(1.0, params_.duration_s / util::kMinute));
+      std::max(1.0, params_.duration_s / util::kMinute.value()));
   std::vector<double> w(minutes);
   for (std::size_t m = 0; m < minutes; ++m) {
     const double t_utc_h = static_cast<double>(m) / 60.0;
@@ -223,7 +223,7 @@ LocationTrace WorkloadModel::generate_city(std::size_t city,
     r.location = static_cast<std::uint16_t>(city);
     const double minute = static_cast<double>(minute_sampler.sample(rng));
     r.timestamp_s = std::min(params_.duration_s - 1e-3,
-                             (minute + rng.uniform()) * util::kMinute);
+                             (minute + rng.uniform()) * util::kMinute.value());
     out.requests.push_back(r);
   }
   std::sort(out.requests.begin(), out.requests.end(),

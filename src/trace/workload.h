@@ -32,7 +32,7 @@ struct WorkloadParams {
   std::size_t object_count = 200'000;
   /// Requests generated per unit of city traffic weight.
   std::size_t requests_per_weight = 40'000;
-  double duration_s = 1.0 * util::kDay;
+  double duration_s = 1.0 * util::kDay.value();
   /// Zipf exponent of base popularity. Video popularity is strongly
   /// skewed; 1.2 reproduces the paper's hit-rate levels (§5.2).
   double zipf_alpha = 1.2;

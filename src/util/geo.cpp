@@ -1,24 +1,21 @@
 #include "util/geo.h"
 
+#include <algorithm>
 #include <cmath>
-#include <numbers>
 
 #include "util/units.h"
 
 namespace starcdn::util {
 
-double deg2rad(double deg) noexcept { return deg * std::numbers::pi / 180.0; }
-double rad2deg(double rad) noexcept { return rad * 180.0 / std::numbers::pi; }
-
-double haversine_km(const GeoCoord& a, const GeoCoord& b) noexcept {
-  const double lat1 = deg2rad(a.lat_deg);
-  const double lat2 = deg2rad(b.lat_deg);
+Km haversine(const GeoCoord& a, const GeoCoord& b) noexcept {
+  const double lat1 = to_radians(Degrees{a.lat_deg}).value();
+  const double lat2 = to_radians(Degrees{b.lat_deg}).value();
   const double dlat = lat2 - lat1;
-  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double dlon = to_radians(Degrees{b.lon_deg - a.lon_deg}).value();
   const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
                    std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
                        std::sin(dlon / 2);
-  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+  return Km{2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)))};
 }
 
 double wrap_lon_deg(double lon) noexcept {

@@ -9,20 +9,23 @@
 #include <string>
 #include <vector>
 
+#include "util/units.h"
+
 namespace starcdn::util {
 
 /// A point on the WGS-84-ish sphere (we use a spherical Earth; the paper's
 /// results are insensitive to oblateness at CDN-latency granularity).
+/// Fields are intentionally raw doubles — this struct is the scenario I/O
+/// boundary (CSV city lists, TLE-free configs, literal tables); the `_deg`
+/// suffix carries the unit and everything downstream converts through
+/// util::to_radians (units.h), which is the only deg->rad path in the tree.
 struct GeoCoord {
   double lat_deg = 0.0;  // [-90, 90]
   double lon_deg = 0.0;  // [-180, 180]
 };
 
-[[nodiscard]] double deg2rad(double deg) noexcept;
-[[nodiscard]] double rad2deg(double rad) noexcept;
-
-/// Great-circle distance in km (haversine formula).
-[[nodiscard]] double haversine_km(const GeoCoord& a, const GeoCoord& b) noexcept;
+/// Great-circle distance (haversine formula).
+[[nodiscard]] Km haversine(const GeoCoord& a, const GeoCoord& b) noexcept;
 
 /// Normalize longitude to [-180, 180).
 [[nodiscard]] double wrap_lon_deg(double lon) noexcept;

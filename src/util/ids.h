@@ -1,0 +1,50 @@
+// Strong index/ID types: a satellite index can never subscript a city
+// table, a bucket id can never be confused with an epoch, and the compiler
+// enforces it (see strong.h for the mechanics).
+//
+// Conventions:
+//   * `SatId`     — linear satellite index into the constellation
+//                   (plane * slots_per_plane + slot). Negative = "none"
+//                   (the scheduler's empty-cell sentinel, kNoSat).
+//   * `PlaneIdx`  — orbital-plane coordinate (RAAN order).
+//   * `SlotIdx`   — in-plane slot coordinate (argument-of-latitude order).
+//   * `CityId`    — index into a scenario's city list.
+//   * `BucketId`  — consistent-hashing bucket in [0, L).
+//   * `EpochIdx`  — scheduler epoch number (15 s granularity).
+//
+// Raw escapes (`.value()`) are expected exactly where an id meets a plain
+// container subscript or modular grid math; everywhere else the id travels
+// strongly typed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/strong.h"
+
+namespace starcdn::util {
+
+struct SatIdTag : IndexTag {};
+struct PlaneIdxTag : IndexTag {};
+struct SlotIdxTag : IndexTag {};
+struct CityIdTag : IndexTag {};
+struct BucketIdTag : IndexTag {};
+struct EpochIdxTag : IndexTag {};
+
+using SatId = Strong<SatIdTag, std::int32_t>;
+using PlaneIdx = Strong<PlaneIdxTag, std::int32_t>;
+using SlotIdx = Strong<SlotIdxTag, std::int32_t>;
+using CityId = Strong<CityIdTag, std::uint32_t>;
+using BucketId = Strong<BucketIdTag, std::int32_t>;
+using EpochIdx = Strong<EpochIdxTag, std::size_t>;
+
+/// "No satellite in view": the scheduler's empty-candidate sentinel.
+inline constexpr SatId kNoSat{-1};
+
+/// Subscript helper: the unsigned form of an id for container indexing.
+template <class Tag, class Rep>
+[[nodiscard]] constexpr std::size_t as_index(Strong<Tag, Rep> id) noexcept {
+  return static_cast<std::size_t>(id.value());
+}
+
+}  // namespace starcdn::util

@@ -33,8 +33,8 @@ class Rng {
     }
   }
 
-  static constexpr result_type min() noexcept { return 0; }
-  static constexpr result_type max() noexcept { return ~0ULL; }
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept { return ~0ULL; }
 
   result_type operator()() noexcept {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
@@ -49,17 +49,17 @@ class Rng {
   }
 
   /// Uniform double in [0, 1). 53 bits of randomness.
-  double uniform() noexcept {
+  [[nodiscard]] double uniform() noexcept {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
   }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept {
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
     return lo + (hi - lo) * uniform();
   }
 
   /// Uniform integer in [0, n). Lemire's multiply-shift rejection method.
-  std::uint64_t below(std::uint64_t n) noexcept {
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept {
     if (n <= 1) return 0;
     // Simple modulo with rejection of the biased tail.
     const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
@@ -70,16 +70,16 @@ class Rng {
   }
 
   /// Uniform integer in [lo, hi] inclusive.
-  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
     return lo + static_cast<std::int64_t>(
                     below(static_cast<std::uint64_t>(hi - lo + 1)));
   }
 
-  bool bernoulli(double p) noexcept { return uniform() < p; }
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
 
   /// Standard normal via Box–Muller (cached second value omitted to stay
   /// stateless; cost is acceptable at simulation scale).
-  double normal(double mean = 0.0, double stddev = 1.0) noexcept {
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) noexcept {
     const double u1 = 1.0 - uniform();  // (0, 1], avoids log(0)
     const double u2 = uniform();
     const double z =
@@ -87,21 +87,21 @@ class Rng {
     return mean + stddev * z;
   }
 
-  double lognormal(double mu, double sigma) noexcept {
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept {
     return std::exp(normal(mu, sigma));
   }
 
-  double exponential(double rate) noexcept {
+  [[nodiscard]] double exponential(double rate) noexcept {
     return -std::log(1.0 - uniform()) / rate;
   }
 
   /// Geometric-ish Pareto sample with shape `alpha` and scale `xmin`.
-  double pareto(double xmin, double alpha) noexcept {
+  [[nodiscard]] double pareto(double xmin, double alpha) noexcept {
     return xmin / std::pow(1.0 - uniform(), 1.0 / alpha);
   }
 
   /// Derive an independent stream, e.g. one per satellite or per city.
-  Rng fork(std::uint64_t stream_id) noexcept {
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) noexcept {
     return Rng(hash_combine((*this)(), splitmix64(stream_id)));
   }
 

@@ -31,7 +31,7 @@ TEST(BucketMapper, ObjectHashingUniform) {
   const BucketMapper m(c, 4);
   int counts[4] = {};
   for (cache::ObjectId id = 0; id < 40'000; ++id) {
-    const int b = m.bucket_of_object(id);
+    const int b = m.bucket_of_object(id).value();
     ASSERT_GE(b, 0);
     ASSERT_LT(b, 4);
     ++counts[b];
@@ -48,7 +48,7 @@ TEST(BucketMapper, SlotTilingPattern) {
       std::set<int> tile;
       for (int dp = 0; dp < 2; ++dp) {
         for (int ds = 0; ds < 2; ++ds) {
-          tile.insert(m.bucket_of_slot({p + dp, s + ds}));
+          tile.insert(m.bucket_of_slot({p + dp, s + ds}).value());
         }
       }
       EXPECT_EQ(tile.size(), 4u) << "tile at " << p << "," << s;
@@ -68,8 +68,8 @@ TEST_P(BucketHopBoundTest, EveryBucketWithinWorstCaseHops) {
     for (int s = 0; s < c.slots_per_plane(); ++s) {
       const orbit::SatelliteId from{p, s};
       for (int b = 0; b < L; ++b) {
-        const auto owner = m.nominal_owner(from, b);
-        EXPECT_EQ(m.bucket_of_slot(owner), b)
+        const auto owner = m.nominal_owner(from, util::BucketId{b});
+        EXPECT_EQ(m.bucket_of_slot(owner).value(), b)
             << "L=" << L << " from=" << p << "," << s << " bucket=" << b;
         EXPECT_LE(c.grid_hops(from, owner), bound);
       }
@@ -94,9 +94,9 @@ TEST(BucketMapper, WorstCaseHopsFormula) {
 TEST(BucketMapper, OwnerIsNominalWhenHealthy) {
   const orbit::Constellation c{shell_params()};
   const BucketMapper m(c, 4);
-  const auto owner = m.owner({3, 3}, 2);
+  const auto owner = m.owner({3, 3}, util::BucketId{2});
   ASSERT_TRUE(owner.has_value());
-  EXPECT_EQ(*owner, m.nominal_owner({3, 3}, 2));
+  EXPECT_EQ(*owner, m.nominal_owner({3, 3}, util::BucketId{2}));
 }
 
 TEST(BucketMapper, RemapPicksNearestActive) {
@@ -116,10 +116,12 @@ TEST(BucketMapper, RemapIsDeterministicAcrossRequesters) {
   c.knock_out_random(0.2, rng);
   const BucketMapper m(c, 9);
   for (int i = 0; i < c.size(); ++i) {
-    const auto a = m.remap(c.id_of(i));
-    const auto b = m.remap(c.id_of(i));
+    const auto a = m.remap(c.id_of(util::SatId{i}));
+    const auto b = m.remap(c.id_of(util::SatId{i}));
     ASSERT_EQ(a.has_value(), b.has_value());
-    if (a) EXPECT_EQ(*a, *b);
+    if (a) {
+      EXPECT_EQ(*a, *b);
+    }
   }
 }
 
@@ -127,18 +129,18 @@ TEST(BucketMapper, RemapOfActiveSatelliteIsIdentity) {
   const orbit::Constellation c{shell_params()};
   const BucketMapper m(c, 4);
   for (int i = 0; i < c.size(); ++i) {
-    const auto t = m.remap(c.id_of(i));
+    const auto t = m.remap(c.id_of(util::SatId{i}));
     ASSERT_TRUE(t.has_value());
-    EXPECT_EQ(*t, c.id_of(i));
+    EXPECT_EQ(*t, c.id_of(util::SatId{i}));
   }
 }
 
 TEST(BucketMapper, AllDownYieldsNullopt) {
   orbit::Constellation c{shell_params()};
-  for (int i = 0; i < c.size(); ++i) c.set_active(c.id_of(i), false);
+  for (int i = 0; i < c.size(); ++i) c.set_active(c.id_of(util::SatId{i}), false);
   const BucketMapper m(c, 4);
   EXPECT_FALSE(m.remap({0, 0}).has_value());
-  EXPECT_FALSE(m.owner({0, 0}, 1).has_value());
+  EXPECT_FALSE(m.owner({0, 0}, util::BucketId{1}).has_value());
 }
 
 TEST(BucketMapper, ReplicasAreSameBucketAndDistinct) {
@@ -154,8 +156,8 @@ TEST(BucketMapper, ReplicasAreSameBucketAndDistinct) {
   EXPECT_FALSE(*west == owner);
   EXPECT_FALSE(*east == owner);
   // "West" = trailing (+RAAN) plane, "east" = leading (-RAAN) plane.
-  EXPECT_EQ(west->plane, 6);
-  EXPECT_EQ(east->plane, 2);
+  EXPECT_EQ(west->plane.value(), 6);
+  EXPECT_EQ(east->plane.value(), 2);
 }
 
 TEST(BucketMapper, ReplicaRemapsAroundFailure) {
@@ -172,7 +174,7 @@ TEST(BucketMapper, ReplicaNeverReturnsOwnerItself) {
   // Kill everything except one satellite: replicas must be nullopt, not
   // the owner.
   orbit::Constellation c{shell_params()};
-  for (int i = 1; i < c.size(); ++i) c.set_active(c.id_of(i), false);
+  for (int i = 1; i < c.size(); ++i) c.set_active(c.id_of(util::SatId{i}), false);
   const BucketMapper m(c, 4);
   EXPECT_FALSE(m.west_replica({0, 0}).has_value());
   EXPECT_FALSE(m.east_replica({0, 0}).has_value());

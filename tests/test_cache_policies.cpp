@@ -155,8 +155,8 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
                          ::testing::Values(Policy::kLru, Policy::kLfu,
                                            Policy::kFifo, Policy::kSieve,
                                            Policy::kSlru, Policy::kGdsf),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& name_info) {
+                           return std::string(to_string(name_info.param));
                          });
 
 // --- Policy-specific semantics ------------------------------------------------

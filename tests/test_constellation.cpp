@@ -27,20 +27,20 @@ TEST(Constellation, StarlinkShellShape) {
 TEST(Constellation, IndexIdRoundTrip) {
   const Constellation c{small_shell()};
   for (int i = 0; i < c.size(); ++i) {
-    EXPECT_EQ(c.index_of(c.id_of(i)), i);
+    EXPECT_EQ(c.index_of(c.id_of(util::SatId{i})).value(), i);
   }
 }
 
 TEST(Constellation, RaanSpreadOverFullCircle) {
   const Constellation c{small_shell()};
-  const double raan0 = c.elements({0, 0}).raan_rad;
-  const double raan6 = c.elements({6, 0}).raan_rad;
+  const double raan0 = c.elements({0, 0}).raan.value();
+  const double raan6 = c.elements({6, 0}).raan.value();
   EXPECT_NEAR(raan6 - raan0, M_PI, 1e-9);  // half the planes = half circle
 }
 
 TEST(Constellation, AltitudeApplied) {
   const Constellation c{WalkerParams{}};
-  EXPECT_NEAR(c.elements({3, 5}).semi_major_axis_km,
+  EXPECT_NEAR(c.elements({3, 5}).semi_major_axis.value(),
               util::kEarthRadiusKm + 550.0, 1e-9);
 }
 
@@ -65,8 +65,8 @@ TEST(Constellation, GridHopsToroidal) {
 TEST(Constellation, AdjacentSlotsAreAboutOneSpacingApart) {
   // 18 slots on a 6,921 km radius orbit: chord ~ 2,400 km -> 8 ms (Table 1).
   const Constellation c{WalkerParams{}};
-  const double d = distance(c.position_ecef({0, 0}, 0.0),
-                            c.position_ecef({0, 1}, 0.0));
+  const double d = distance(c.position_ecef({0, 0}, util::Seconds{0.0}),
+                            c.position_ecef({0, 1}, util::Seconds{0.0}));
   EXPECT_NEAR(d, 2.0 * (util::kEarthRadiusKm + 550.0) *
                      std::sin(M_PI / 18.0),
               1.0);
@@ -84,7 +84,7 @@ TEST(Constellation, KnockOutIsDeterministic) {
   util::Rng ra(9), rb(9);
   a.knock_out_random(0.25, ra);
   b.knock_out_random(0.25, rb);
-  for (int i = 0; i < a.size(); ++i) EXPECT_EQ(a.active(i), b.active(i));
+  for (int i = 0; i < a.size(); ++i) EXPECT_EQ(a.active(util::SatId{i}), b.active(util::SatId{i}));
 }
 
 TEST(Constellation, SetActiveToggle) {
@@ -103,22 +103,22 @@ TEST(Constellation, FromTlesRecoversGrid) {
   const Constellation original{p};
   std::vector<Tle> tles;
   for (int i = 0; i < original.size(); ++i) {
-    const auto& e = original.elements(original.id_of(i));
+    const auto& e = original.elements(original.id_of(util::SatId{i}));
     Tle t;
     t.catalog_number = 50'000 + i;
-    t.inclination_deg = util::rad2deg(e.inclination_rad);
-    t.raan_deg = util::rad2deg(e.raan_rad);
+    t.inclination_deg = util::to_degrees(e.inclination).value();
+    t.raan_deg = util::to_degrees(e.raan).value();
     t.arg_perigee_deg = 0.0;
-    t.mean_anomaly_deg = util::rad2deg(e.arg_latitude_epoch_rad);
+    t.mean_anomaly_deg = util::to_degrees(e.arg_latitude_epoch).value();
     t.mean_motion_rev_day =
-        util::kDay / orbital_period_s(e);
+        util::kDay / orbital_period(e);
     tles.push_back(t);
   }
   const Constellation rebuilt(p, tles);
   EXPECT_EQ(rebuilt.active_count(), original.size());
   for (int i = 0; i < original.size(); ++i) {
-    EXPECT_NEAR(rebuilt.elements(rebuilt.id_of(i)).raan_rad,
-                original.elements(original.id_of(i)).raan_rad, 1e-6);
+    EXPECT_NEAR(rebuilt.elements(rebuilt.id_of(util::SatId{i})).raan.value(),
+                original.elements(original.id_of(util::SatId{i})).raan.value(), 1e-6);
   }
 }
 
@@ -131,10 +131,10 @@ TEST(Constellation, FromPartialTlesMarksMissingInactive) {
     const auto& e = full.elements({0, s});
     Tle t;
     t.catalog_number = s;
-    t.inclination_deg = util::rad2deg(e.inclination_rad);
-    t.raan_deg = util::rad2deg(e.raan_rad);
-    t.mean_anomaly_deg = util::rad2deg(e.arg_latitude_epoch_rad);
-    t.mean_motion_rev_day = util::kDay / orbital_period_s(e);
+    t.inclination_deg = util::to_degrees(e.inclination).value();
+    t.raan_deg = util::to_degrees(e.raan).value();
+    t.mean_anomaly_deg = util::to_degrees(e.arg_latitude_epoch).value();
+    t.mean_motion_rev_day = util::kDay / orbital_period(e);
     tles.push_back(t);
   }
   const Constellation partial(p, tles);

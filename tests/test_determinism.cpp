@@ -20,11 +20,11 @@ struct ThreadOverrideGuard {
 
 TEST(Determinism, LinkScheduleIdenticalAcrossThreadCounts) {
   const orbit::Constellation shell{orbit::WalkerParams{}};
-  const double horizon_s = 30 * util::kMinute;
+  const double horizon_s = 30 * util::kMinute.value();
 
   auto build = [&](int threads) {
     ThreadOverrideGuard guard(threads);
-    return sched::LinkSchedule(shell, util::paper_cities(), horizon_s);
+    return sched::LinkSchedule(shell, util::paper_cities(), util::Seconds{horizon_s});
   };
   const sched::LinkSchedule serial = build(1);
   const sched::LinkSchedule parallel = build(8);
@@ -32,11 +32,15 @@ TEST(Determinism, LinkScheduleIdenticalAcrossThreadCounts) {
   ASSERT_EQ(serial.epochs(), parallel.epochs());
   for (std::size_t e = 0; e < serial.epochs(); ++e) {
     for (std::size_t c = 0; c < util::paper_cities().size(); ++c) {
-      const auto& a = serial.candidates(e, c);
-      const auto& b = parallel.candidates(e, c);
+      const auto& a =
+          serial.candidates(util::EpochIdx{e},
+                            util::CityId{static_cast<std::uint32_t>(c)});
+      const auto& b =
+          parallel.candidates(util::EpochIdx{e},
+                              util::CityId{static_cast<std::uint32_t>(c)});
       ASSERT_EQ(a.size(), b.size()) << "epoch " << e << " city " << c;
       for (std::size_t i = 0; i < a.size(); ++i) {
-        ASSERT_EQ(a[i].sat_index, b[i].sat_index)
+        ASSERT_EQ(a[i].sat, b[i].sat)
             << "epoch " << e << " city " << c << " rank " << i;
         // Bitwise, not approximate: identical code on identical inputs.
         ASSERT_EQ(a[i].gsl_one_way_ms, b[i].gsl_one_way_ms)
@@ -82,10 +86,10 @@ TEST(Determinism, SimulatorIdenticalAcrossThreadCounts) {
   auto p = trace::default_params(trace::TrafficClass::kVideo);
   p.object_count = 10'000;
   p.requests_per_weight = 4'000;
-  p.duration_s = util::kHour;
+  p.duration_s = util::kHour.value();
   const trace::WorkloadModel workload(util::paper_cities(), p);
   const auto requests = trace::merge_by_time(workload.generate());
-  const sched::LinkSchedule schedule(shell, util::paper_cities(), p.duration_s);
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{p.duration_s});
 
   const std::vector<core::Variant> variants = {
       core::Variant::kStatic, core::Variant::kStarCdn,
@@ -122,10 +126,10 @@ TEST(Determinism, StreamedChunksMatchWholeRunInParallel) {
   auto p = trace::default_params(trace::TrafficClass::kVideo);
   p.object_count = 5'000;
   p.requests_per_weight = 2'000;
-  p.duration_s = util::kHour;
+  p.duration_s = util::kHour.value();
   const trace::WorkloadModel workload(util::paper_cities(), p);
   const auto requests = trace::merge_by_time(workload.generate());
-  const sched::LinkSchedule schedule(shell, util::paper_cities(), p.duration_s);
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{p.duration_s});
 
   core::SimConfig cfg;
   cfg.cache_capacity = util::mib(128);

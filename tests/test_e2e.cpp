@@ -16,7 +16,7 @@ TEST(EndToEnd, SpaceGenTraceDrivesSimulatorLikeProduction) {
   auto p = trace::default_params(trace::TrafficClass::kVideo);
   p.object_count = 15'000;
   p.requests_per_weight = 8'000;
-  p.duration_s = 2 * util::kHour;
+  p.duration_s = 2 * util::kHour.value();
   const trace::WorkloadModel w(util::paper_cities(), p);
   const auto production = w.generate();
 
@@ -39,7 +39,7 @@ TEST(EndToEnd, SpaceGenTraceDrivesSimulatorLikeProduction) {
 
   // 3. Simulate both against the same constellation (the Fig. 6e/6f check).
   const orbit::Constellation shell{orbit::WalkerParams{}};
-  const sched::LinkSchedule schedule(shell, util::paper_cities(), p.duration_s);
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{p.duration_s});
   core::SimConfig cfg;
   cfg.cache_capacity = util::mib(512);
   cfg.sample_latency = false;
@@ -67,12 +67,12 @@ TEST(EndToEnd, HeadlineClaimsAtTargetConfiguration) {
   auto p = trace::default_params(trace::TrafficClass::kVideo);
   p.object_count = 40'000;
   p.requests_per_weight = 30'000;
-  p.duration_s = 4 * util::kHour;
+  p.duration_s = 4 * util::kHour.value();
   const trace::WorkloadModel w(util::paper_cities(), p);
   const auto requests = trace::merge_by_time(w.generate());
 
   const orbit::Constellation shell{orbit::WalkerParams{}};
-  const sched::LinkSchedule schedule(shell, util::paper_cities(), p.duration_s);
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{p.duration_s});
   core::SimConfig cfg;
   cfg.cache_capacity = util::gib(1);
   cfg.buckets = 9;
@@ -92,7 +92,7 @@ TEST(EndToEnd, HeadlineClaimsAtTargetConfiguration) {
   util::Rng rng(5);
   util::QuantileSampler bentpipe;
   for (int i = 0; i < 20'000; ++i) {
-    bentpipe.add(lat.bentpipe_starlink(2.94, rng));
+    bentpipe.add(lat.bentpipe_starlink(util::Millis{2.94}, rng).value());
   }
   EXPECT_LT(star.latency_ms.median() * 2.0, bentpipe.median());
 }

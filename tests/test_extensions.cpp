@@ -78,16 +78,16 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, HottestPolicyTest,
 TEST(TransientFailure, ZeroProbabilityNeverDown) {
   const core::TransientFailureModel model(0.0);
   for (int s = 0; s < 100; ++s) {
-    EXPECT_FALSE(model.down(s, 12'345.0));
+    EXPECT_FALSE(model.down(util::SatId{s}, util::Seconds{12'345.0}));
   }
 }
 
 TEST(TransientFailure, FrequencyMatchesProbability) {
-  const core::TransientFailureModel model(0.2, 300.0);
+  const core::TransientFailureModel model(0.2, util::Seconds{300.0});
   int downs = 0, total = 0;
   for (int s = 0; s < 200; ++s) {
     for (double t = 0.0; t < 86'400.0; t += 300.0) {
-      downs += model.down(s, t);
+      downs += model.down(util::SatId{s}, util::Seconds{t});
       ++total;
     }
   }
@@ -95,22 +95,22 @@ TEST(TransientFailure, FrequencyMatchesProbability) {
 }
 
 TEST(TransientFailure, StableWithinWindow) {
-  const core::TransientFailureModel model(0.5, 300.0);
+  const core::TransientFailureModel model(0.5, util::Seconds{300.0});
   for (int s = 0; s < 50; ++s) {
-    const bool at_start = model.down(s, 600.0);
-    EXPECT_EQ(model.down(s, 601.0), at_start);
-    EXPECT_EQ(model.down(s, 899.9), at_start);
+    const bool at_start = model.down(util::SatId{s}, util::Seconds{600.0});
+    EXPECT_EQ(model.down(util::SatId{s}, util::Seconds{601.0}), at_start);
+    EXPECT_EQ(model.down(util::SatId{s}, util::Seconds{899.9}), at_start);
   }
 }
 
 TEST(TransientFailure, DeterministicForSeed) {
-  const core::TransientFailureModel a(0.3, 300.0, 42);
-  const core::TransientFailureModel b(0.3, 300.0, 42);
-  const core::TransientFailureModel c(0.3, 300.0, 43);
+  const core::TransientFailureModel a(0.3, util::Seconds{300.0}, 42);
+  const core::TransientFailureModel b(0.3, util::Seconds{300.0}, 42);
+  const core::TransientFailureModel c(0.3, util::Seconds{300.0}, 43);
   int diff = 0;
   for (int s = 0; s < 100; ++s) {
-    EXPECT_EQ(a.down(s, 1'000.0), b.down(s, 1'000.0));
-    diff += a.down(s, 1'000.0) != c.down(s, 1'000.0);
+    EXPECT_EQ(a.down(util::SatId{s}, util::Seconds{1'000.0}), b.down(util::SatId{s}, util::Seconds{1'000.0}));
+    diff += a.down(util::SatId{s}, util::Seconds{1'000.0}) != c.down(util::SatId{s}, util::Seconds{1'000.0});
   }
   EXPECT_GT(diff, 0);
 }
@@ -124,12 +124,12 @@ class ExtensionSimTest : public ::testing::Test {
     auto p = trace::default_params(trace::TrafficClass::kVideo);
     p.object_count = 20'000;
     p.requests_per_weight = 10'000;
-    p.duration_s = 2 * util::kHour;
+    p.duration_s = 2 * util::kHour.value();
     const trace::WorkloadModel workload(util::paper_cities(), p);
     requests_ = new std::vector<trace::Request>(
         trace::merge_by_time(workload.generate()));
     schedule_ = new sched::LinkSchedule(*shell_, util::paper_cities(),
-                                        p.duration_s);
+                                        util::Seconds{p.duration_s});
   }
   static void TearDownTestSuite() {
     delete requests_;
@@ -198,8 +198,12 @@ TEST_F(ExtensionSimTest, TransientOutagesDegradeGracefully) {
     sim.run(*requests_);
     const auto& m = sim.metrics(core::Variant::kStarCdn);
     EXPECT_EQ(m.hits() + m.misses, m.requests);
-    if (p == 0.0) EXPECT_EQ(m.transient_misses, 0u);
-    if (p > 0.0) EXPECT_GT(m.transient_misses, 0u);
+    if (p == 0.0) {
+      EXPECT_EQ(m.transient_misses, 0u);
+    }
+    if (p > 0.0) {
+      EXPECT_GT(m.transient_misses, 0u);
+    }
     return m.request_hit_rate();
   };
   const double healthy = hit_rate_at(0.0);

@@ -72,14 +72,15 @@ TEST(FootprintDescriptor, FallbackForUnseenCells) {
 TEST(FootprintDescriptor, RealWorkloadExtraction) {
   auto p = default_params(TrafficClass::kVideo);
   p.object_count = 10'000;
-  p.duration_s = util::kHour;
+  p.duration_s = util::kHour.value();
   const WorkloadModel w(util::paper_cities(), p);
   const auto trace = w.generate_city(0, 20'000);
   const auto fd = FootprintDescriptor::extract(trace);
   // A heavy-tailed workload has substantial reuse.
   EXPECT_GT(fd.observed_reuses(), trace.requests.size() / 4);
   EXPECT_NEAR(fd.request_rate_per_s(),
-              20'000.0 / util::kHour, 20'000.0 / util::kHour * 0.2);
+              20'000.0 / util::kHour.value(),
+              20'000.0 / util::kHour.value() * 0.2);
 }
 
 }  // namespace

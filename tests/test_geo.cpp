@@ -9,20 +9,20 @@ TEST(Geo, HaversineKnownDistances) {
   // New York <-> London is about 5,570 km.
   const GeoCoord ny{40.71, -74.01};
   const GeoCoord london{51.51, -0.13};
-  EXPECT_NEAR(haversine_km(ny, london), 5570.0, 60.0);
+  EXPECT_NEAR(haversine(ny, london).value(), 5570.0, 60.0);
   // Antipodal points: half the circumference.
   const GeoCoord a{0.0, 0.0}, b{0.0, 180.0};
-  EXPECT_NEAR(haversine_km(a, b), 20'015.0, 10.0);
+  EXPECT_NEAR(haversine(a, b).value(), 20'015.0, 10.0);
 }
 
 TEST(Geo, HaversineZeroForSamePoint) {
   const GeoCoord p{48.2, 16.4};
-  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(haversine(p, p).value(), 0.0);
 }
 
 TEST(Geo, HaversineSymmetric) {
   const GeoCoord a{10.0, 20.0}, b{-30.0, 140.0};
-  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+  EXPECT_DOUBLE_EQ(haversine(a, b).value(), haversine(b, a).value());
 }
 
 TEST(Geo, WrapLongitude) {
@@ -33,7 +33,7 @@ TEST(Geo, WrapLongitude) {
 }
 
 TEST(Geo, DegRadRoundTrip) {
-  EXPECT_NEAR(rad2deg(deg2rad(53.0)), 53.0, 1e-12);
+  EXPECT_NEAR(to_degrees(to_radians(Degrees{53.0})).value(), 53.0, 1e-12);
 }
 
 TEST(Geo, PaperCitiesMatchSection311) {

@@ -61,7 +61,7 @@ TEST(Gpd, WorkloadSpreadStructure) {
   auto p = default_params(TrafficClass::kVideo);
   p.object_count = 20'000;
   p.requests_per_weight = 10'000;
-  p.duration_s = util::kHour;
+  p.duration_s = util::kHour.value();
   const WorkloadModel w(util::paper_cities(), p);
   const auto gpd = GlobalPopularityDistribution::extract(w.generate());
 

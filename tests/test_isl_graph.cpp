@@ -66,8 +66,8 @@ TEST(IslGraph, ShortestHopsMatchesGridDistanceOnHealthyGrid) {
 TEST(IslGraph, PathEndpointsAndContinuity) {
   const orbit::Constellation c{small_shell()};
   const IslGraph g(c);
-  const int from = c.index_of({1, 1});
-  const int to = c.index_of({5, 4});
+  const auto from = c.index_of({1, 1});
+  const auto to = c.index_of({5, 4});
   const auto path = g.shortest_path(from, to);
   ASSERT_TRUE(path.has_value());
   EXPECT_EQ(path->front(), from);
@@ -113,16 +113,16 @@ TEST(IslGraph, PathDelayScalesWithHops) {
   const orbit::Constellation c{orbit::WalkerParams{}};
   const IslGraph g(c);
   const auto one_inter =
-      g.path_delay_ms(c.index_of({0, 0}), c.index_of({1, 0}), 0.0);
+      g.path_delay(c.index_of({0, 0}), c.index_of({1, 0}), util::Seconds{0.0});
   const auto one_intra =
-      g.path_delay_ms(c.index_of({0, 0}), c.index_of({0, 1}), 0.0);
+      g.path_delay(c.index_of({0, 0}), c.index_of({0, 1}), util::Seconds{0.0});
   ASSERT_TRUE(one_inter && one_intra);
   // Table 1: intra-orbit hop ~8 ms, inter-orbit ~2 ms.
-  EXPECT_NEAR(*one_intra, 8.0, 0.5);
-  EXPECT_LT(*one_inter, 3.5);
-  const auto same = g.path_delay_ms(c.index_of({3, 3}), c.index_of({3, 3}), 0.0);
+  EXPECT_NEAR(one_intra->value(), 8.0, 0.5);
+  EXPECT_LT(one_inter->value(), 3.5);
+  const auto same = g.path_delay(c.index_of({3, 3}), c.index_of({3, 3}), util::Seconds{0.0});
   ASSERT_TRUE(same.has_value());
-  EXPECT_DOUBLE_EQ(*same, 0.0);
+  EXPECT_DOUBLE_EQ(same->value(), 0.0);
 }
 
 TEST(IslGraph, BfsFallbackDelayStillFinite) {
@@ -130,9 +130,9 @@ TEST(IslGraph, BfsFallbackDelayStillFinite) {
   c.set_active({1, 0}, false);
   const IslGraph g(c);
   const auto delay =
-      g.path_delay_ms(c.index_of({0, 0}), c.index_of({2, 0}), 0.0);
+      g.path_delay(c.index_of({0, 0}), c.index_of({2, 0}), util::Seconds{0.0});
   ASSERT_TRUE(delay.has_value());
-  EXPECT_GT(*delay, 0.0);
+  EXPECT_GT(delay->value(), 0.0);
 }
 
 }  // namespace

@@ -13,14 +13,14 @@ using orbit::KeplerianElements;
 
 TEST(Kepler, SolverOnCircularOrbitIsIdentity) {
   for (double M = -3.0; M <= 3.0; M += 0.37) {
-    EXPECT_NEAR(orbit::solve_kepler(M, 0.0), M, 1e-12);
+    EXPECT_NEAR(orbit::solve_kepler(util::Radians{M}, 0.0).value(), M, 1e-12);
   }
 }
 
 TEST(Kepler, SolverSatisfiesEquation) {
   for (const double e : {0.01, 0.1, 0.4, 0.7, 0.85}) {
     for (double M = 0.0; M < 6.28; M += 0.41) {
-      const double E = orbit::solve_kepler(M, e);
+      const double E = orbit::solve_kepler(util::Radians{M}, e).value();
       EXPECT_NEAR(E - e * std::sin(E), M, 1e-10)
           << "e=" << e << " M=" << M;
     }
@@ -29,21 +29,21 @@ TEST(Kepler, SolverSatisfiesEquation) {
 
 KeplerianElements molniya_like() {
   KeplerianElements e;
-  e.semi_major_axis_km = 26'600.0;
+  e.semi_major_axis = util::Km{26'600.0};
   e.eccentricity = 0.74;
-  e.inclination_rad = util::deg2rad(63.4);
-  e.arg_perigee_rad = util::deg2rad(270.0);
+  e.inclination = util::Radians{util::to_radians(util::Degrees{63.4}).value()};
+  e.arg_perigee = util::Radians{util::to_radians(util::Degrees{270.0}).value()};
   return e;
 }
 
 TEST(Kepler, RadiusBoundedByApsides) {
   const auto e = molniya_like();
-  const double perigee = e.semi_major_axis_km * (1.0 - e.eccentricity);
-  const double apogee = e.semi_major_axis_km * (1.0 + e.eccentricity);
+  const double perigee = e.semi_major_axis.value() * (1.0 - e.eccentricity);
+  const double apogee = e.semi_major_axis.value() * (1.0 + e.eccentricity);
   const double T = 2.0 * M_PI / orbit::mean_motion_rad_s(e);
   double rmin = 1e18, rmax = 0.0;
   for (double t = 0.0; t < T; t += T / 500.0) {
-    const double r = orbit::eci_position(e, t).norm();
+    const double r = orbit::eci_position(e, util::Seconds{t}).norm();
     rmin = std::min(rmin, r);
     rmax = std::max(rmax, r);
     ASSERT_GE(r, perigee - 1.0);
@@ -55,20 +55,20 @@ TEST(Kepler, RadiusBoundedByApsides) {
 
 TEST(Kepler, ReducesToCircularAtZeroEccentricity) {
   orbit::CircularElements c;
-  c.semi_major_axis_km = 6'921.0;
-  c.inclination_rad = util::deg2rad(53.0);
-  c.raan_rad = 0.7;
-  c.arg_latitude_epoch_rad = 1.3;
+  c.semi_major_axis = util::Km{6'921.0};
+  c.inclination = util::Radians{util::to_radians(util::Degrees{53.0}).value()};
+  c.raan = util::Radians{0.7};
+  c.arg_latitude_epoch = util::Radians{1.3};
   KeplerianElements k;
-  k.semi_major_axis_km = c.semi_major_axis_km;
+  k.semi_major_axis = util::Km{c.semi_major_axis.value()};
   k.eccentricity = 0.0;
-  k.inclination_rad = c.inclination_rad;
-  k.raan_rad = c.raan_rad;
-  k.arg_perigee_rad = 0.9;
-  k.mean_anomaly_epoch_rad = 0.4;  // w + M = 1.3 = u0
+  k.inclination = util::Radians{c.inclination.value()};
+  k.raan = util::Radians{c.raan.value()};
+  k.arg_perigee = util::Radians{0.9};
+  k.mean_anomaly_epoch = util::Radians{0.4};  // w + M = 1.3 = u0
   for (double t = 0.0; t < 6'000.0; t += 500.0) {
-    const auto a = orbit::eci_position(c, t);
-    const auto b = orbit::eci_position(k, t);
+    const auto a = orbit::eci_position(c, util::Seconds{t});
+    const auto b = orbit::eci_position(k, util::Seconds{t});
     EXPECT_NEAR(orbit::distance(a, b), 0.0, 0.5) << "t=" << t;
   }
 }
@@ -82,17 +82,17 @@ TEST(Kepler, TleToKeplerianKeepsEccentricity) {
   t.mean_motion_rev_day = 15.72;
   const auto e = t.to_keplerian();
   EXPECT_DOUBLE_EQ(e.eccentricity, 0.0006703);
-  EXPECT_NEAR(e.arg_perigee_rad, util::deg2rad(130.5), 1e-12);
+  EXPECT_NEAR(e.arg_perigee.value(), util::to_radians(util::Degrees{130.5}).value(), 1e-12);
   // Same semi-major axis as the circular reduction.
-  EXPECT_NEAR(e.semi_major_axis_km, t.to_circular().semi_major_axis_km, 1e-9);
+  EXPECT_NEAR(e.semi_major_axis.value(), t.to_circular().semi_major_axis.value(), 1e-9);
 }
 
 // --- UplinkMeter ---------------------------------------------------------------
 
 TEST(UplinkMeter, ThroughputArithmetic) {
-  net::UplinkMeter meter(15.0, 20.0);
+  net::UplinkMeter meter(util::Seconds{15.0}, util::gbps(20.0));
   // 1 GB in one epoch = 8 Gb / 15 s ≈ 0.533 Gbps.
-  meter.add(7, 0, 1'000'000'000);
+  meter.add(util::SatId{7}, util::EpochIdx{0}, 1'000'000'000);
   meter.flush();
   EXPECT_EQ(meter.throughput_gbps().count(), 1u);
   EXPECT_NEAR(meter.throughput_gbps().mean(), 0.533, 0.01);
@@ -101,26 +101,26 @@ TEST(UplinkMeter, ThroughputArithmetic) {
 }
 
 TEST(UplinkMeter, AccumulatesWithinEpochSplitsAcross) {
-  net::UplinkMeter meter(15.0, 20.0);
-  meter.add(1, 0, 500);
-  meter.add(1, 0, 500);   // same cell
-  meter.add(1, 1, 500);   // next epoch: first cell flushed
+  net::UplinkMeter meter(util::Seconds{15.0}, util::gbps(20.0));
+  meter.add(util::SatId{1}, util::EpochIdx{0}, 500);
+  meter.add(util::SatId{1}, util::EpochIdx{0}, 500);   // same cell
+  meter.add(util::SatId{1}, util::EpochIdx{1}, 500);   // next epoch: first cell flushed
   meter.flush();
   EXPECT_EQ(meter.throughput_gbps().count(), 2u);
 }
 
 TEST(UplinkMeter, DetectsOverload) {
-  net::UplinkMeter meter(15.0, 20.0);
+  net::UplinkMeter meter(util::Seconds{15.0}, util::gbps(20.0));
   // 20 Gbps * 15 s = 37.5 GB; exceed it.
-  meter.add(3, 0, 40'000'000'000ULL);
+  meter.add(util::SatId{3}, util::EpochIdx{0}, 40'000'000'000ULL);
   meter.flush();
   EXPECT_EQ(meter.overloaded_cells(), 1u);
 }
 
 TEST(UplinkMeter, SeparateSatellitesSeparateCells) {
   net::UplinkMeter meter;
-  meter.add(1, 0, 100);
-  meter.add(2, 0, 100);
+  meter.add(util::SatId{1}, util::EpochIdx{0}, 100);
+  meter.add(util::SatId{2}, util::EpochIdx{0}, 100);
   meter.flush();
   EXPECT_EQ(meter.throughput_gbps().count(), 2u);
 }

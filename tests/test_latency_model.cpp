@@ -9,24 +9,27 @@ namespace {
 
 TEST(LatencyModel, HitCompositionArithmetic) {
   const LatencyModel m;
-  EXPECT_DOUBLE_EQ(m.hit_local(3.0), 6.0);
-  EXPECT_DOUBLE_EQ(m.hit_routed(3.0, 4.0), 14.0);
-  EXPECT_DOUBLE_EQ(m.hit_relayed(3.0, 4.0, 2.0), 18.0);
+  EXPECT_DOUBLE_EQ(m.hit_local(util::Millis{3.0}).value(), 6.0);
+  EXPECT_DOUBLE_EQ(m.hit_routed(util::Millis{3.0}, util::Millis{4.0}).value(), 14.0);
+  EXPECT_DOUBLE_EQ(m.hit_relayed(util::Millis{3.0}, util::Millis{4.0}, util::Millis{2.0}).value(), 18.0);
 }
 
 TEST(LatencyModel, GridHopsUseTable1Delays) {
   const LatencyModel m;
   // Defaults are Table 1's means: 2.15 ms inter-orbit, 8.03 ms intra-orbit.
-  EXPECT_NEAR(m.grid_hops_ms(1, 0), 2.15, 1e-9);
-  EXPECT_NEAR(m.grid_hops_ms(0, 1), 8.03, 1e-9);
-  EXPECT_NEAR(m.grid_hops_ms(2, 1), 2 * 2.15 + 8.03, 1e-9);
+  EXPECT_NEAR(m.grid_hops_delay(1, 0).value(), 2.15, 1e-9);
+  EXPECT_NEAR(m.grid_hops_delay(0, 1).value(), 8.03, 1e-9);
+  EXPECT_NEAR(m.grid_hops_delay(2, 1).value(), 2 * 2.15 + 8.03, 1e-9);
 }
 
 TEST(LatencyModel, MissExceedsHit) {
   const LatencyModel m;
   util::Rng rng(1);
   for (int i = 0; i < 100; ++i) {
-    EXPECT_GT(m.miss(3.0, 2.0, 2.9, rng), m.hit_routed(3.0, 2.0));
+    EXPECT_GT(
+        m.miss(util::Millis{3.0}, util::Millis{2.0}, util::Millis{2.9}, rng)
+            .value(),
+        m.hit_routed(util::Millis{3.0}, util::Millis{2.0}).value());
   }
 }
 
@@ -37,8 +40,8 @@ TEST(LatencyModel, BaselineMediansMatchPaper) {
   util::Rng rng(2);
   util::QuantileSampler terrestrial, bentpipe;
   for (int i = 0; i < 50'000; ++i) {
-    terrestrial.add(m.terrestrial_cdn(rng));
-    bentpipe.add(m.bentpipe_starlink(2.94, rng));
+    terrestrial.add(m.terrestrial_cdn(rng).value());
+    bentpipe.add(m.bentpipe_starlink(util::Millis{2.94}, rng).value());
   }
   EXPECT_GT(terrestrial.median(), 4.0);
   EXPECT_LT(terrestrial.median(), 20.0);
@@ -52,17 +55,18 @@ TEST(LatencyModel, StarCdnHitBeatsBentPipe) {
   const LatencyModel m;
   util::Rng rng(3);
   util::QuantileSampler bentpipe;
-  for (int i = 0; i < 20'000; ++i) bentpipe.add(m.bentpipe_starlink(2.94, rng));
-  const double routed_hit = m.hit_routed(2.94, m.grid_hops_ms(2, 0));
+  for (int i = 0; i < 20'000; ++i) bentpipe.add(m.bentpipe_starlink(util::Millis{2.94}, rng).value());
+  const double routed_hit =
+      m.hit_routed(util::Millis{2.94}, m.grid_hops_delay(2, 0)).value();
   EXPECT_LT(routed_hit, bentpipe.median() / 2.0);
 }
 
 TEST(LatencyModel, CustomParams) {
   LatencyModelParams p;
-  p.inter_orbit_hop_ms = 10.0;
+  p.inter_orbit_hop = util::Millis{10.0};
   const LatencyModel m(p);
-  EXPECT_DOUBLE_EQ(m.grid_hops_ms(3, 0), 30.0);
-  EXPECT_DOUBLE_EQ(m.params().inter_orbit_hop_ms, 10.0);
+  EXPECT_DOUBLE_EQ(m.grid_hops_delay(3, 0).value(), 30.0);
+  EXPECT_DOUBLE_EQ(m.params().inter_orbit_hop.value(), 10.0);
 }
 
 }  // namespace

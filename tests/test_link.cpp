@@ -9,9 +9,9 @@ namespace {
 
 TEST(Link, NamesAndBandwidths) {
   EXPECT_STREQ(to_string(LinkType::kGsl), "GSL");
-  EXPECT_DOUBLE_EQ(nominal_bandwidth_gbps(LinkType::kIntraOrbitIsl), 100.0);
-  EXPECT_DOUBLE_EQ(nominal_bandwidth_gbps(LinkType::kInterOrbitIsl), 100.0);
-  EXPECT_DOUBLE_EQ(nominal_bandwidth_gbps(LinkType::kGsl), 20.0);
+  EXPECT_DOUBLE_EQ(util::to_gbps(nominal_bandwidth(LinkType::kIntraOrbitIsl)), 100.0);
+  EXPECT_DOUBLE_EQ(util::to_gbps(nominal_bandwidth(LinkType::kInterOrbitIsl)), 100.0);
+  EXPECT_DOUBLE_EQ(util::to_gbps(nominal_bandwidth(LinkType::kGsl)), 20.0);
 }
 
 TEST(Link, MeasuredDelaysMatchTable1) {
@@ -21,7 +21,7 @@ TEST(Link, MeasuredDelaysMatchTable1) {
   std::vector<util::GeoCoord> grounds;
   for (const auto& c : util::paper_cities()) grounds.push_back(c.coord);
   const auto stats =
-      measure_link_delays(shell, grounds, 600.0, 60.0);  // 10 min @ 1/min
+      measure_link_delays(shell, grounds, util::Seconds{600.0}, util::Seconds{60.0});  // 10 min @ 1/min
 
   EXPECT_NEAR(stats.intra_orbit_isl.mean(), 8.03, 0.4);
   EXPECT_NEAR(stats.inter_orbit_isl.mean(), 2.15, 0.7);
@@ -33,7 +33,7 @@ TEST(Link, MeasuredDelaysMatchTable1) {
 TEST(Link, IntraOrbitDelayIsConstant) {
   // Slots in one plane are rigidly spaced; the delay has ~zero variance.
   const orbit::Constellation shell{orbit::WalkerParams{}};
-  const auto stats = measure_link_delays(shell, {}, 300.0, 60.0);
+  const auto stats = measure_link_delays(shell, {}, util::Seconds{300.0}, util::Seconds{60.0});
   EXPECT_LT(stats.intra_orbit_isl.stddev(), 0.01);
 }
 
@@ -41,7 +41,7 @@ TEST(Link, InterOrbitDelayVariesWithLatitude) {
   // Adjacent planes converge toward the inclination extremes, so the
   // inter-orbit delay has visible spread (Table 1 std 0.49 ms).
   const orbit::Constellation shell{orbit::WalkerParams{}};
-  const auto stats = measure_link_delays(shell, {}, 300.0, 60.0);
+  const auto stats = measure_link_delays(shell, {}, util::Seconds{300.0}, util::Seconds{60.0});
   EXPECT_GT(stats.inter_orbit_isl.stddev(), 0.1);
   EXPECT_LT(stats.inter_orbit_isl.stddev(), 1.5);
 }
@@ -49,9 +49,9 @@ TEST(Link, InterOrbitDelayVariesWithLatitude) {
 TEST(Link, InactiveSatellitesNotSampled) {
   orbit::Constellation shell{orbit::WalkerParams{}};
   for (int i = 0; i < shell.size(); ++i) {
-    shell.set_active(shell.id_of(i), i == 0);  // only one satellite alive
+    shell.set_active(shell.id_of(util::SatId{i}), i == 0);  // only one satellite alive
   }
-  const auto stats = measure_link_delays(shell, {}, 60.0, 60.0);
+  const auto stats = measure_link_delays(shell, {}, util::Seconds{60.0}, util::Seconds{60.0});
   EXPECT_EQ(stats.intra_orbit_isl.count(), 0u);
   EXPECT_EQ(stats.inter_orbit_isl.count(), 0u);
 }

@@ -20,7 +20,7 @@ class ModelIoTest : public ::testing::Test {
     auto p = default_params(TrafficClass::kVideo);
     p.object_count = 8'000;
     p.requests_per_weight = 3'000;
-    p.duration_s = util::kHour;
+    p.duration_s = util::kHour.value();
     const WorkloadModel w(util::paper_cities(), p);
     gen_ = new SpaceGen(SpaceGen::fit(w.generate()));
   }

@@ -11,10 +11,10 @@ namespace {
 
 CircularElements starlink_like() {
   CircularElements e;
-  e.semi_major_axis_km = util::kEarthRadiusKm + 550.0;
-  e.inclination_rad = util::deg2rad(53.0);
-  e.raan_rad = 0.3;
-  e.arg_latitude_epoch_rad = 1.1;
+  e.semi_major_axis = util::Km{util::kEarthRadiusKm + 550.0};
+  e.inclination = util::Radians{util::to_radians(util::Degrees{53.0}).value()};
+  e.raan = util::Radians{0.3};
+  e.arg_latitude_epoch = util::Radians{1.1};
   return e;
 }
 
@@ -42,22 +42,22 @@ TEST(Vec3, RotateZ) {
 
 TEST(Propagator, PeriodIsAbout95Minutes) {
   // 550 km circular orbit: T = 2*pi*sqrt(a^3/mu) ≈ 5'740 s.
-  EXPECT_NEAR(orbital_period_s(starlink_like()), 5740.0, 30.0);
+  EXPECT_NEAR(orbital_period(starlink_like()).value(), 5740.0, 30.0);
 }
 
 TEST(Propagator, RadiusIsInvariant) {
   const auto e = starlink_like();
   for (double t = 0.0; t < 6'000.0; t += 321.0) {
-    EXPECT_NEAR(eci_position(e, t).norm(), e.semi_major_axis_km, 1e-6);
-    EXPECT_NEAR(ecef_position(e, t).norm(), e.semi_major_axis_km, 1e-6);
+    EXPECT_NEAR(eci_position(e, util::Seconds{t}).norm(), e.semi_major_axis.value(), 1e-6);
+    EXPECT_NEAR(ecef_position(e, util::Seconds{t}).norm(), e.semi_major_axis.value(), 1e-6);
   }
 }
 
 TEST(Propagator, ReturnsToStartAfterOnePeriodInEci) {
   const auto e = starlink_like();
-  const double T = orbital_period_s(e);
-  const Vec3 p0 = eci_position(e, 0.0);
-  const Vec3 p1 = eci_position(e, T);
+  const double T = orbital_period(e).value();
+  const Vec3 p0 = eci_position(e, util::Seconds{0.0});
+  const Vec3 p1 = eci_position(e, util::Seconds{T});
   EXPECT_NEAR(distance(p0, p1), 0.0, 1.0);  // within 1 km numerically
 }
 
@@ -65,17 +65,17 @@ TEST(Propagator, EcefDriftsWestwardPerOrbit) {
   // After one orbital period Earth has rotated ~24 degrees east, so the
   // ground track shifts ~24 degrees west (Fig. 3's precession).
   const auto e = starlink_like();
-  const double T = orbital_period_s(e);
-  const auto g0 = ground_track_point(e, 0.0);
-  const auto g1 = ground_track_point(e, T);
+  const double T = orbital_period(e).value();
+  const auto g0 = ground_track_point(e, util::Seconds{0.0});
+  const auto g1 = ground_track_point(e, util::Seconds{T});
   const double shift = util::wrap_lon_deg(g0.lon_deg - g1.lon_deg);
-  EXPECT_NEAR(shift, 360.0 * T / util::kEarthSiderealDayS, 0.5);
+  EXPECT_NEAR(shift, 360.0 * T / util::kEarthSiderealDay.value(), 0.5);
 }
 
 TEST(Propagator, GroundTrackBoundedByInclination) {
   const auto e = starlink_like();
   for (double t = 0.0; t < 12'000.0; t += 97.0) {
-    EXPECT_LE(std::abs(ground_track_point(e, t).lat_deg), 53.0 + 1e-6);
+    EXPECT_LE(std::abs(ground_track_point(e, util::Seconds{t}).lat_deg), 53.0 + 1e-6);
   }
 }
 
@@ -83,7 +83,7 @@ TEST(Propagator, GroundTrackReachesInclinationLatitude) {
   const auto e = starlink_like();
   double max_lat = 0.0;
   for (double t = 0.0; t < 6'000.0; t += 10.0) {
-    max_lat = std::max(max_lat, std::abs(ground_track_point(e, t).lat_deg));
+    max_lat = std::max(max_lat, std::abs(ground_track_point(e, util::Seconds{t}).lat_deg));
   }
   EXPECT_GT(max_lat, 52.5);
 }
@@ -98,13 +98,13 @@ TEST(Propagator, GeodeticEcefRoundTrip) {
 }
 
 TEST(Propagator, GeodeticAltitude) {
-  const auto p = geodetic_to_ecef({0.0, 0.0}, 550.0);
+  const auto p = geodetic_to_ecef({0.0, 0.0}, util::Km{550.0});
   EXPECT_NEAR(p.norm(), util::kEarthRadiusKm + 550.0, 1e-9);
 }
 
 TEST(Propagator, EciToEcefAtTimeZeroIsIdentity) {
   const Vec3 p{1000.0, 2000.0, 3000.0};
-  const Vec3 q = eci_to_ecef(p, 0.0);
+  const Vec3 q = eci_to_ecef(p, util::Seconds{0.0});
   EXPECT_DOUBLE_EQ(q.x, p.x);
   EXPECT_DOUBLE_EQ(q.y, p.y);
   EXPECT_DOUBLE_EQ(q.z, p.z);

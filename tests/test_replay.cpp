@@ -35,7 +35,7 @@ std::vector<trace::Request> small_requests() {
 
 TEST(Replay, InProcessBasicAccounting) {
   const orbit::Constellation shell{small_shell()};
-  const sched::LinkSchedule schedule(shell, util::paper_cities(), 600.0);
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{600.0});
   const auto requests = small_requests();
 
   ReplayConfig cfg;
@@ -53,7 +53,7 @@ TEST(Replay, TcpModeMatchesInProcessBitForBit) {
   // transports must produce identical results — the protocol, not the
   // transport, determines caching behaviour.
   const orbit::Constellation shell{small_shell()};
-  const sched::LinkSchedule schedule(shell, util::paper_cities(), 600.0);
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{600.0});
   const auto requests = small_requests();
 
   ReplayConfig inproc;
@@ -69,7 +69,7 @@ TEST(Replay, TcpModeMatchesInProcessBitForBit) {
 
 TEST(Replay, RelayImprovesHitRate) {
   const orbit::Constellation shell{small_shell()};
-  const sched::LinkSchedule schedule(shell, util::paper_cities(), 600.0);
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{600.0});
   const auto requests = small_requests();
 
   ReplayConfig with_relay;
@@ -85,7 +85,7 @@ TEST(Replay, RelayImprovesHitRate) {
 
 TEST(Replay, DeterministicAcrossRuns) {
   const orbit::Constellation shell{small_shell()};
-  const sched::LinkSchedule schedule(shell, util::paper_cities(), 600.0);
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{600.0});
   const auto requests = small_requests();
   ReplayConfig cfg;
   cfg.cache_capacity = util::mib(64);

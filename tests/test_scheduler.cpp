@@ -14,7 +14,7 @@ class SchedulerTest : public ::testing::Test {
   static void SetUpTestSuite() {
     shell_ = new orbit::Constellation{orbit::WalkerParams{}};
     schedule_ = new LinkSchedule(*shell_, util::paper_cities(),
-                                 30 * 60.0 /* 30 minutes */);
+                                 util::Seconds{30 * 60.0} /* 30 minutes */);
   }
   static void TearDownTestSuite() {
     delete schedule_;
@@ -31,22 +31,22 @@ LinkSchedule* SchedulerTest::schedule_ = nullptr;
 
 TEST_F(SchedulerTest, EpochCount) {
   EXPECT_EQ(schedule_->epochs(), 120u);  // 30 min / 15 s
-  EXPECT_DOUBLE_EQ(schedule_->epoch_s(), 15.0);
+  EXPECT_DOUBLE_EQ(schedule_->epoch_duration().value(), 15.0);
 }
 
 TEST_F(SchedulerTest, EpochOfClampsToRange) {
-  EXPECT_EQ(schedule_->epoch_of(-5.0), 0u);
-  EXPECT_EQ(schedule_->epoch_of(0.0), 0u);
-  EXPECT_EQ(schedule_->epoch_of(15.0), 1u);
-  EXPECT_EQ(schedule_->epoch_of(1e9), schedule_->epochs() - 1);
+  EXPECT_EQ(schedule_->epoch_of(util::Seconds{-5.0}).value(), 0u);
+  EXPECT_EQ(schedule_->epoch_of(util::Seconds{0.0}).value(), 0u);
+  EXPECT_EQ(schedule_->epoch_of(util::Seconds{15.0}).value(), 1u);
+  EXPECT_EQ(schedule_->epoch_of(util::Seconds{1e9}).value(), schedule_->epochs() - 1);
 }
 
 TEST_F(SchedulerTest, CandidatesAreValidSatellites) {
   for (std::size_t e = 0; e < schedule_->epochs(); e += 17) {
     for (std::size_t c = 0; c < util::paper_cities().size(); ++c) {
-      for (const auto& cand : schedule_->candidates(e, c)) {
-        EXPECT_GE(cand.sat_index, 0);
-        EXPECT_LT(cand.sat_index, shell_->size());
+      for (const auto& cand : schedule_->candidates(util::EpochIdx{e}, util::CityId{static_cast<std::uint32_t>(c)})) {
+        EXPECT_GE(cand.sat.value(), 0);
+        EXPECT_LT(cand.sat.value(), shell_->size());
         // One-way GSL delay at 550 km with a 25-degree mask: 1.8 - 5 ms.
         EXPECT_GT(cand.gsl_one_way_ms, 1.7F);
         EXPECT_LT(cand.gsl_one_way_ms, 5.5F);
@@ -58,7 +58,7 @@ TEST_F(SchedulerTest, CandidatesAreValidSatellites) {
 TEST_F(SchedulerTest, MidLatitudeCitiesAlwaysCovered) {
   for (std::size_t e = 0; e < schedule_->epochs(); ++e) {
     for (std::size_t c = 0; c < util::paper_cities().size(); ++c) {
-      EXPECT_FALSE(schedule_->candidates(e, c).empty())
+      EXPECT_FALSE(schedule_->candidates(util::EpochIdx{e}, util::CityId{static_cast<std::uint32_t>(c)}).empty())
           << "city " << c << " uncovered at epoch " << e;
     }
   }
@@ -71,9 +71,9 @@ TEST_F(SchedulerTest, PaperReportsManySatellitesInView) {
 }
 
 TEST_F(SchedulerTest, FirstContactStableWithinEpoch) {
-  const auto a = schedule_->first_contact(5, 2, 7);
-  const auto b = schedule_->first_contact(5, 2, 7);
-  EXPECT_EQ(a.sat_index, b.sat_index);
+  const auto a = schedule_->first_contact(util::EpochIdx{5}, util::CityId{2}, 7);
+  const auto b = schedule_->first_contact(util::EpochIdx{5}, util::CityId{2}, 7);
+  EXPECT_EQ(a.sat, b.sat);
 }
 
 TEST_F(SchedulerTest, FirstContactReshufflesAcrossEpochs) {
@@ -81,7 +81,7 @@ TEST_F(SchedulerTest, FirstContactReshufflesAcrossEpochs) {
   // user must not stay pinned to a single satellite.
   std::set<int> sats;
   for (std::size_t e = 0; e < schedule_->epochs(); ++e) {
-    sats.insert(schedule_->first_contact(e, 0, 7).sat_index);
+    sats.insert(schedule_->first_contact(util::EpochIdx{e}, util::CityId{0}, 7).sat.value());
   }
   EXPECT_GT(sats.size(), 5u);
 }
@@ -91,7 +91,7 @@ TEST_F(SchedulerTest, UsersSpreadOverCandidates) {
   // (the multi-satellite redundancy challenge, §3.1.2).
   std::set<int> sats;
   for (std::uint64_t user = 0; user < 64; ++user) {
-    sats.insert(schedule_->first_contact(10, 4, user).sat_index);
+    sats.insert(schedule_->first_contact(util::EpochIdx{10}, util::CityId{4}, user).sat.value());
   }
   EXPECT_GT(sats.size(), 3u);
 }
@@ -100,20 +100,20 @@ TEST(Scheduler, EmptyCellForUncoveredCity) {
   const orbit::Constellation shell{orbit::WalkerParams{}};
   const std::vector<util::City> arctic = {
       {"Alert", {82.5, -62.3}, 1.0, "en"}};
-  const LinkSchedule schedule(shell, arctic, 60.0);
-  EXPECT_TRUE(schedule.candidates(0, 0).empty());
-  EXPECT_EQ(schedule.first_contact(0, 0, 1).sat_index, -1);
+  const LinkSchedule schedule(shell, arctic, util::Seconds{60.0});
+  EXPECT_TRUE(schedule.candidates(util::EpochIdx{0}, util::CityId{0}).empty());
+  EXPECT_EQ(schedule.first_contact(util::EpochIdx{0}, util::CityId{0}, 1).sat.value(), -1);
 }
 
 TEST(Scheduler, CustomParams) {
   const orbit::Constellation shell{orbit::WalkerParams{}};
   SchedulerParams params;
-  params.epoch_s = 60.0;
+  params.epoch = util::Seconds{60.0};
   params.candidates_per_cell = 2;
-  const LinkSchedule schedule(shell, util::paper_cities(), 600.0, params);
+  const LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{600.0}, params);
   EXPECT_EQ(schedule.epochs(), 10u);
   for (std::size_t c = 0; c < util::paper_cities().size(); ++c) {
-    EXPECT_LE(schedule.candidates(0, c).size(), 2u);
+    EXPECT_LE(schedule.candidates(util::EpochIdx{0}, util::CityId{static_cast<std::uint32_t>(c)}).size(), 2u);
   }
 }
 

@@ -16,12 +16,12 @@ class SimulatorTest : public ::testing::Test {
     auto p = trace::default_params(trace::TrafficClass::kVideo);
     p.object_count = 20'000;
     p.requests_per_weight = 10'000;
-    p.duration_s = 2 * util::kHour;
+    p.duration_s = 2 * util::kHour.value();
     workload_ = new trace::WorkloadModel(util::paper_cities(), p);
     requests_ = new std::vector<trace::Request>(
         trace::merge_by_time(workload_->generate()));
     schedule_ = new sched::LinkSchedule(*shell_, util::paper_cities(),
-                                        p.duration_s);
+                                        util::Seconds{p.duration_s});
   }
   static void TearDownTestSuite() {
     delete requests_;
@@ -319,7 +319,7 @@ TEST(SimulatorGolden, MetricsBitwiseIdenticalAcrossCacheRewrite) {
   const trace::WorkloadModel workload(util::paper_cities(), p);
   const auto requests = trace::merge_by_time(workload.generate());
   const sched::LinkSchedule schedule(shell, util::paper_cities(),
-                                     p.duration_s);
+                                     util::Seconds{p.duration_s});
   constexpr Variant kVariants[] = {
       Variant::kStatic,   Variant::kVanillaLru, Variant::kHashOnly,
       Variant::kRelayOnly, Variant::kStarCdn,   Variant::kPrefetch,
@@ -366,10 +366,10 @@ TEST(SimulatorFailures, KnockedOutConstellationStillServes) {
   auto p = trace::default_params(trace::TrafficClass::kVideo);
   p.object_count = 10'000;
   p.requests_per_weight = 4'000;
-  p.duration_s = util::kHour;
+  p.duration_s = util::kHour.value();
   const trace::WorkloadModel w(util::paper_cities(), p);
   const auto requests = trace::merge_by_time(w.generate());
-  const sched::LinkSchedule schedule(shell, util::paper_cities(), p.duration_s);
+  const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{p.duration_s});
 
   SimConfig cfg;
   cfg.cache_capacity = util::mib(256);
@@ -387,7 +387,7 @@ TEST(SimulatorFailures, KnockedOutConstellationStillServes) {
   const auto served = sim.buckets_served_per_satellite();
   int multi = 0;
   for (int i = 0; i < shell.size(); ++i) {
-    if (!shell.active(i)) {
+    if (!shell.active(util::SatId{i})) {
       EXPECT_EQ(served[static_cast<std::size_t>(i)], 0);
     } else if (served[static_cast<std::size_t>(i)] > 1) {
       ++multi;

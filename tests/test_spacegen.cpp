@@ -20,7 +20,7 @@ MultiTrace small_production() {
   auto p = default_params(TrafficClass::kVideo);
   p.object_count = 15'000;
   p.requests_per_weight = 12'000;
-  p.duration_s = 4 * util::kHour;
+  p.duration_s = 4 * util::kHour.value();
   const WorkloadModel w(util::paper_cities(), p);
   return w.generate();
 }

@@ -1,0 +1,171 @@
+// Compile-time and value tests for the Strong<> unit/ID layer.
+//
+// The static_asserts are the real teeth: each `!std::is_*_v` line is a
+// negative-compilation family — if someone adds an implicit conversion or
+// cross-family operator to strong.h, this TU stops compiling before any
+// test runs.
+#include "util/strong.h"
+
+#include <gtest/gtest.h>
+
+#include <concepts>
+#include <type_traits>
+#include <unordered_map>
+
+#include "util/ids.h"
+#include "util/units.h"
+
+namespace starcdn::util {
+namespace {
+
+// --- Negative-compilation families ------------------------------------------
+// Family 1: angle units never interconvert implicitly (deg-for-rad swap was
+// the motivating bug class; only to_radians/to_degrees cross).
+static_assert(!std::is_convertible_v<Degrees, Radians>);
+static_assert(!std::is_convertible_v<Radians, Degrees>);
+static_assert(!std::is_constructible_v<Radians, Degrees>);
+static_assert(!std::is_constructible_v<Degrees, Radians>);
+
+// Family 2: id families never stand in for each other (a satellite index
+// must not subscript a city table).
+static_assert(!std::is_convertible_v<SatId, CityId>);
+static_assert(!std::is_convertible_v<CityId, SatId>);
+static_assert(!std::is_constructible_v<CityId, SatId>);
+static_assert(!std::is_constructible_v<BucketId, EpochIdx>);
+static_assert(!std::is_constructible_v<PlaneIdx, SlotIdx>);
+
+// Family 3: distance and time never cross (km-for-ms is the latency-table
+// corruption scenario; only propagation_delay crosses).
+static_assert(!std::is_convertible_v<Km, Millis>);
+static_assert(!std::is_convertible_v<Millis, Km>);
+static_assert(!std::is_constructible_v<Millis, Km>);
+static_assert(!std::is_constructible_v<Seconds, Km>);
+
+// Raw scalars never convert in either direction without naming the type or
+// calling .value().
+static_assert(!std::is_convertible_v<double, Km>);
+static_assert(!std::is_convertible_v<Km, double>);
+static_assert(!std::is_convertible_v<int, SatId>);
+static_assert(!std::is_convertible_v<SatId, int>);
+
+// Cross-unit arithmetic does not exist: Km + Millis, Degrees + Radians and
+// friends must fail overload resolution entirely.
+template <class A, class B>
+concept Addable = requires(A a, B b) { a + b; };
+template <class A, class B>
+concept Subtractable = requires(A a, B b) { a - b; };
+static_assert(!Addable<Km, Millis>);
+static_assert(!Addable<Degrees, Radians>);
+static_assert(!Subtractable<Seconds, Millis>);
+static_assert(Addable<Km, Km>);
+static_assert(Subtractable<Seconds, Seconds>);
+
+// Ids are ordinals, not quantities: no +, no scalar *, but ++ works.
+static_assert(!Addable<SatId, SatId>);
+template <class T>
+concept ScalarScalable = requires(T t) { t * 2.0; };
+static_assert(ScalarScalable<Km>);
+static_assert(!ScalarScalable<SatId>);
+template <class T>
+concept PreIncrementable = requires(T t) { ++t; };
+static_assert(PreIncrementable<EpochIdx>);
+static_assert(!PreIncrementable<Km>);  // quantities don't "step"
+
+// Zero-overhead claim: same size and triviality as the raw representation.
+static_assert(sizeof(Km) == sizeof(double));
+static_assert(sizeof(SatId) == sizeof(std::int32_t));
+static_assert(std::is_trivially_copyable_v<Km>);
+static_assert(std::is_trivially_copyable_v<EpochIdx>);
+
+// --- Round-trip value tests for every units.h conversion --------------------
+
+TEST(StrongUnits, DegreesRadiansRoundTrip) {
+  for (const double d : {-180.0, -90.0, 0.0, 23.4, 90.0, 180.0, 360.0}) {
+    const Radians r = to_radians(Degrees{d});
+    EXPECT_NEAR(to_degrees(r).value(), d, 1e-12) << "deg " << d;
+  }
+  EXPECT_NEAR(to_radians(Degrees{180.0}).value(), kPi, 1e-15);
+  EXPECT_NEAR(to_degrees(Radians{kPi / 2.0}).value(), 90.0, 1e-12);
+}
+
+TEST(StrongUnits, MetersKmRoundTrip) {
+  for (const double km : {0.0, 0.001, 1.0, 550.0, 6371.0, 40'000.0}) {
+    const Meters m = to_meters(Km{km});
+    EXPECT_DOUBLE_EQ(m.value(), km * 1000.0);
+    EXPECT_DOUBLE_EQ(to_km(m).value(), km);
+  }
+}
+
+TEST(StrongUnits, MillisSecondsRoundTrip) {
+  for (const double s : {0.0, 0.015, 1.0, 60.0, 86'400.0}) {
+    const Millis ms = to_millis(Seconds{s});
+    EXPECT_DOUBLE_EQ(ms.value(), s * 1000.0);
+    EXPECT_DOUBLE_EQ(to_seconds(ms).value(), s);
+  }
+}
+
+TEST(StrongUnits, PropagationDelayMatchesSpeedOfLight) {
+  // 550 km straight up: 550 / 299792.458 * 1000 ms ~ 1.834 ms.
+  EXPECT_NEAR(propagation_delay(Km{550.0}).value(), 1.8346, 1e-3);
+  EXPECT_DOUBLE_EQ(propagation_delay(Km{0.0}).value(), 0.0);
+  // Linearity: delay scales with distance.
+  EXPECT_DOUBLE_EQ(propagation_delay(Km{2000.0}).value(),
+                   Km{2000.0}.value() / kSpeedOfLightKmPerS * 1000.0);
+}
+
+TEST(StrongUnits, GbpsRoundTrip) {
+  for (const double g : {0.0, 0.1, 4.0, 20.0, 100.0}) {
+    const BytesPerSec r = gbps(g);
+    EXPECT_DOUBLE_EQ(to_gbps(r), g) << "gbps " << g;
+  }
+  EXPECT_DOUBLE_EQ(gbps(8.0).value(), 1e9);  // 8 Gbit/s == 1 GB/s
+}
+
+TEST(StrongUnits, TimeConstantsConsistent) {
+  EXPECT_DOUBLE_EQ((kHour / kMinute), 60.0);
+  EXPECT_DOUBLE_EQ((kDay / kHour), 24.0);
+  EXPECT_DOUBLE_EQ(to_millis(kMinute).value(), 60'000.0);
+}
+
+// --- Behavioral checks on the Strong<> operations themselves ----------------
+
+TEST(StrongUnits, QuantityArithmetic) {
+  const Km a{100.0}, b{50.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 50.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -100.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 200.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 200.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);  // ratio is dimensionless
+  Km c{1.0};
+  c += a;
+  c -= b;
+  EXPECT_DOUBLE_EQ(c.value(), 51.0);
+}
+
+TEST(StrongIds, OrderingAndStepping) {
+  EpochIdx e{4};
+  EXPECT_EQ((++e).value(), 5u);
+  EXPECT_EQ((e++).value(), 5u);
+  EXPECT_EQ(e.value(), 6u);
+  EXPECT_EQ((--e).value(), 5u);
+  EXPECT_LT(SatId{3}, SatId{7});
+  EXPECT_EQ(kNoSat.value(), -1);
+  EXPECT_TRUE(SatId{-1} == kNoSat);
+}
+
+TEST(StrongIds, AsIndexAndHashing) {
+  EXPECT_EQ(as_index(CityId{12}), 12u);
+  EXPECT_EQ(as_index(SatId{0}), 0u);
+  // std::hash forwards to the rep's hash: identical bucket placement.
+  EXPECT_EQ(std::hash<SatId>{}(SatId{42}), std::hash<std::int32_t>{}(42));
+  std::unordered_map<BucketId, int> m;
+  m[BucketId{3}] = 30;
+  m[BucketId{1}] = 10;
+  EXPECT_EQ(m.at(BucketId{3}), 30);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+}  // namespace
+}  // namespace starcdn::util

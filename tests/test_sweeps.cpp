@@ -23,7 +23,7 @@ TEST_P(TrafficClassTest, WorkloadStructurallySound) {
   auto p = trace::default_params(GetParam());
   p.object_count = 10'000;
   p.requests_per_weight = 4'000;
-  p.duration_s = util::kHour;
+  p.duration_s = util::kHour.value();
   const trace::WorkloadModel w(util::paper_cities(), p);
   const auto traces = w.generate();
   ASSERT_EQ(traces.size(), util::paper_cities().size());
@@ -42,7 +42,7 @@ TEST_P(TrafficClassTest, SpaceGenRoundTripsTheClass) {
   auto p = trace::default_params(GetParam());
   p.object_count = 8'000;
   p.requests_per_weight = 3'000;
-  p.duration_s = util::kHour;
+  p.duration_s = util::kHour.value();
   const trace::WorkloadModel w(util::paper_cities(), p);
   const auto production = w.generate();
   const auto gen = trace::SpaceGen::fit(production);
@@ -71,13 +71,13 @@ TEST_P(TrafficClassTest, StarCdnBeatsLruForEveryClass) {
   auto p = trace::default_params(GetParam());
   p.object_count = 10'000;
   p.requests_per_weight = 5'000;
-  p.duration_s = util::kHour;
+  p.duration_s = util::kHour.value();
   const trace::WorkloadModel w(util::paper_cities(), p);
   const auto requests = trace::merge_by_time(w.generate());
 
   const orbit::Constellation shell{orbit::WalkerParams{}};
   const sched::LinkSchedule schedule(shell, util::paper_cities(),
-                                     p.duration_s);
+                                     util::Seconds{p.duration_s});
   core::SimConfig cfg;
   cfg.cache_capacity = util::mib(128);
   cfg.buckets = 9;
@@ -94,8 +94,8 @@ INSTANTIATE_TEST_SUITE_P(AllClasses, TrafficClassTest,
                          ::testing::Values(trace::TrafficClass::kVideo,
                                            trace::TrafficClass::kWeb,
                                            trace::TrafficClass::kDownload),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& name_info) {
+                           return std::string(to_string(name_info.param));
                          });
 
 // --- cache-policy sweep through the simulator -----------------------------------
@@ -107,12 +107,12 @@ class SimPolicyTest : public ::testing::TestWithParam<cache::Policy> {
     auto p = trace::default_params(trace::TrafficClass::kVideo);
     p.object_count = 15'000;
     p.requests_per_weight = 6'000;
-    p.duration_s = util::kHour;
+    p.duration_s = util::kHour.value();
     const trace::WorkloadModel w(util::paper_cities(), p);
     requests_ = new std::vector<trace::Request>(
         trace::merge_by_time(w.generate()));
     schedule_ = new sched::LinkSchedule(*shell_, util::paper_cities(),
-                                        p.duration_s);
+                                        util::Seconds{p.duration_s});
   }
   static void TearDownTestSuite() {
     delete requests_;
@@ -160,8 +160,8 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, SimPolicyTest,
                                            cache::Policy::kSieve,
                                            cache::Policy::kSlru,
                                            cache::Policy::kGdsf),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& name_info) {
+                           return std::string(to_string(name_info.param));
                          });
 
 // --- bucket-count sweep -----------------------------------------------------------
@@ -173,11 +173,11 @@ TEST_P(BucketSweepTest, HashedVariantsValidAtEveryL) {
   auto p = trace::default_params(trace::TrafficClass::kVideo);
   p.object_count = 8'000;
   p.requests_per_weight = 2'500;
-  p.duration_s = util::kHour / 2;
+  p.duration_s = util::kHour.value() / 2;
   const trace::WorkloadModel w(util::paper_cities(), p);
   const auto requests = trace::merge_by_time(w.generate());
   const sched::LinkSchedule schedule(shell, util::paper_cities(),
-                                     p.duration_s);
+                                     util::Seconds{p.duration_s});
   core::SimConfig cfg;
   cfg.cache_capacity = util::mib(128);
   cfg.buckets = GetParam();

@@ -49,10 +49,10 @@ TEST(Tle, ToCircularAltitude) {
   ASSERT_TRUE(t.has_value());
   const auto e = t->to_circular();
   // The ISS orbits around 350-420 km altitude.
-  const double alt = e.semi_major_axis_km - util::kEarthRadiusKm;
+  const double alt = e.semi_major_axis.value() - util::kEarthRadiusKm;
   EXPECT_GT(alt, 300.0);
   EXPECT_LT(alt, 450.0);
-  EXPECT_NEAR(e.inclination_rad, util::deg2rad(51.6416), 1e-6);
+  EXPECT_NEAR(e.inclination.value(), util::to_radians(util::Degrees{51.6416}).value(), 1e-6);
 }
 
 TEST(Tle, FormatRoundTrip) {

@@ -13,28 +13,28 @@ namespace {
 
 TEST(Visibility, OverheadSatelliteIsAtNinetyDegrees) {
   const Vec3 ground = geodetic_to_ecef({10.0, 20.0});
-  const Vec3 sat = geodetic_to_ecef({10.0, 20.0}, 550.0);
-  EXPECT_NEAR(elevation_deg(ground, sat), 90.0, 1e-6);
+  const Vec3 sat = geodetic_to_ecef({10.0, 20.0}, util::Km{550.0});
+  EXPECT_NEAR(elevation(ground, sat).value(), 90.0, 1e-6);
 }
 
 TEST(Visibility, HorizonSatelliteIsNearZero) {
   // A satellite whose ground point is at the geometric horizon distance for
   // 550 km altitude (~26 degrees of arc) sits near 0 elevation.
   const Vec3 ground = geodetic_to_ecef({0.0, 0.0});
-  const Vec3 sat = geodetic_to_ecef({0.0, 23.9}, 550.0);
-  EXPECT_NEAR(elevation_deg(ground, sat), 0.0, 1.5);
+  const Vec3 sat = geodetic_to_ecef({0.0, 23.9}, util::Km{550.0});
+  EXPECT_NEAR(elevation(ground, sat).value(), 0.0, 1.5);
 }
 
 TEST(Visibility, AntipodalSatelliteIsBelowHorizon) {
   const Vec3 ground = geodetic_to_ecef({0.0, 0.0});
-  const Vec3 sat = geodetic_to_ecef({0.0, 180.0}, 550.0);
-  EXPECT_LT(elevation_deg(ground, sat), -80.0);
+  const Vec3 sat = geodetic_to_ecef({0.0, 180.0}, util::Km{550.0});
+  EXPECT_LT(elevation(ground, sat).value(), -80.0);
 }
 
 TEST(Visibility, SlantRangeOverhead) {
   const Vec3 ground = geodetic_to_ecef({45.0, 45.0});
-  const Vec3 sat = geodetic_to_ecef({45.0, 45.0}, 550.0);
-  EXPECT_NEAR(slant_range_km(ground, sat), 550.0, 1e-6);
+  const Vec3 sat = geodetic_to_ecef({45.0, 45.0}, util::Km{550.0});
+  EXPECT_NEAR(slant_range(ground, sat).value(), 550.0, 1e-6);
 }
 
 class VisibilityLatitudeTest : public ::testing::TestWithParam<double> {};
@@ -43,19 +43,19 @@ TEST_P(VisibilityLatitudeTest, MidLatitudeUsersSeeManySatellites) {
   // The paper relies on Starlink users seeing 10+ satellites (§3.1.2);
   // at the shell's inclination band the full 72x18 shell provides that.
   const Constellation shell{WalkerParams{}};
-  const VisibilityOracle oracle(25.0);
+  const VisibilityOracle oracle(util::Degrees{25.0});
   const util::GeoCoord user{GetParam(), -74.0};
-  const auto pos = shell.all_positions_ecef(0.0);
+  const auto pos = shell.all_positions_ecef(util::Seconds{0.0});
   const auto visible = oracle.visible(user, shell, pos);
   EXPECT_GE(visible.size(), 3u) << "latitude " << GetParam();
   // Sorted by elevation descending.
   for (std::size_t i = 1; i < visible.size(); ++i) {
-    EXPECT_LE(visible[i].elevation_deg, visible[i - 1].elevation_deg);
+    EXPECT_LE(visible[i].elevation.value(), visible[i - 1].elevation.value());
   }
   for (const auto& v : visible) {
-    EXPECT_GE(v.elevation_deg, 25.0);
-    EXPECT_GT(v.range_km, 540.0);
-    EXPECT_LT(v.range_km, 1'500.0);  // 25-degree mask bounds the range
+    EXPECT_GE(v.elevation.value(), 25.0);
+    EXPECT_GT(v.range.value(), 540.0);
+    EXPECT_LT(v.range.value(), 1'500.0);  // 25-degree mask bounds the range
   }
 }
 
@@ -65,36 +65,44 @@ INSTANTIATE_TEST_SUITE_P(Latitudes, VisibilityLatitudeTest,
 TEST(Visibility, PolarUserSeesNothingFromInclinedShell) {
   // A 53-degree shell never covers the poles at a 25-degree mask.
   const Constellation shell{WalkerParams{}};
-  const VisibilityOracle oracle(25.0);
-  const auto pos = shell.all_positions_ecef(0.0);
+  const VisibilityOracle oracle(util::Degrees{25.0});
+  const auto pos = shell.all_positions_ecef(util::Seconds{0.0});
   EXPECT_TRUE(oracle.visible({89.0, 0.0}, shell, pos).empty());
 }
 
 TEST(Visibility, InactiveSatellitesExcluded) {
   Constellation shell{WalkerParams{}};
-  const VisibilityOracle oracle(25.0);
+  const VisibilityOracle oracle(util::Degrees{25.0});
   const util::GeoCoord user{40.7, -74.0};
-  const auto pos = shell.all_positions_ecef(0.0);
+  const auto pos = shell.all_positions_ecef(util::Seconds{0.0});
   const auto before = oracle.visible(user, shell, pos);
   ASSERT_FALSE(before.empty());
-  shell.set_active(shell.id_of(before.front().sat_index), false);
+  shell.set_active(shell.id_of(before.front().sat), false);
   const auto after = oracle.visible(user, shell, pos);
   for (const auto& v : after) {
-    EXPECT_NE(v.sat_index, before.front().sat_index);
+    EXPECT_NE(v.sat, before.front().sat);
   }
 }
 
 TEST(Visibility, HorizonSlantRangeMatchesClosedForm) {
   // 550 km shell, spherical ground, 25-degree mask:
   //   sqrt(6921^2 - (6371 cos 25)^2) - 6371 sin 25 = 1123.3 km.
-  EXPECT_NEAR(horizon_slant_range_km(6921.0, 6371.0, 25.0), 1123.3, 1.0);
+  EXPECT_NEAR(horizon_slant_range(util::Km{6921.0}, util::Km{6371.0},
+                                  util::Degrees{25.0})
+                  .value(),
+              1123.3, 1.0);
   // At a 0-degree mask the bound degenerates to the geometric horizon
   // distance sqrt(r^2 - R^2).
   const double r = 6921.0, R = 6371.0;
-  EXPECT_NEAR(horizon_slant_range_km(r, R, 0.0),
+  EXPECT_NEAR(horizon_slant_range(util::Km{r}, util::Km{R},
+                                  util::Degrees{0.0})
+                  .value(),
               std::sqrt(r * r - R * R), 1e-9);
   // An orbit entirely below the mask cone can never be visible.
-  EXPECT_EQ(horizon_slant_range_km(5000.0, 6371.0, 25.0), 0.0);
+  EXPECT_EQ(horizon_slant_range(util::Km{5000.0}, util::Km{6371.0},
+                                util::Degrees{25.0})
+                .value(),
+            0.0);
 }
 
 TEST(Visibility, HighAltitudeShellIsNotCulledByCheapReject) {
@@ -103,28 +111,28 @@ TEST(Visibility, HighAltitudeShellIsNotCulledByCheapReject) {
   // 3,600 km slant range is genuinely visible (the derived bound for that
   // shell is ~3,761 km) but the old constant would have culled it.
   const Constellation shell{WalkerParams{
-      .planes = 1, .slots_per_plane = 1, .altitude_km = 2500.0}};
+      .planes = 1, .slots_per_plane = 1, .altitude = util::Km{2500.0}}};
   const Vec3 g = geodetic_to_ecef({0.0, 0.0});
   const Vec3 up = g.normalized();
   const Vec3 tangent{0.0, 0.0, 1.0};  // perpendicular to `up` at the equator
   const double el = 30.0 * std::numbers::pi / 180.0;
   const double slant = 3600.0;
   const Vec3 sat = g + (up * std::sin(el) + tangent * std::cos(el)) * slant;
-  ASSERT_NEAR(elevation_deg(g, sat), 30.0, 1e-6);
+  ASSERT_NEAR(elevation(g, sat).value(), 30.0, 1e-6);
 
-  const VisibilityOracle oracle(25.0);
+  const VisibilityOracle oracle(util::Degrees{25.0});
   const auto seen = oracle.visible_from_ecef(g, shell, {sat});
   ASSERT_EQ(seen.size(), 1u);
-  EXPECT_NEAR(seen[0].range_km, slant, 1e-6);
-  EXPECT_NEAR(seen[0].elevation_deg, 30.0, 1e-6);
+  EXPECT_NEAR(seen[0].range.value(), slant, 1e-6);
+  EXPECT_NEAR(seen[0].elevation.value(), 30.0, 1e-6);
 }
 
 TEST(Visibility, HigherMaskSeesFewer) {
   const Constellation shell{WalkerParams{}};
-  const auto pos = shell.all_positions_ecef(0.0);
+  const auto pos = shell.all_positions_ecef(util::Seconds{0.0});
   const util::GeoCoord user{40.7, -74.0};
-  const auto lo = VisibilityOracle(25.0).visible(user, shell, pos);
-  const auto hi = VisibilityOracle(50.0).visible(user, shell, pos);
+  const auto lo = VisibilityOracle(util::Degrees{25.0}).visible(user, shell, pos);
+  const auto hi = VisibilityOracle(util::Degrees{50.0}).visible(user, shell, pos);
   EXPECT_LE(hi.size(), lo.size());
 }
 

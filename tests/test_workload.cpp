@@ -13,7 +13,7 @@ WorkloadParams tiny_params() {
   auto p = default_params(TrafficClass::kVideo);
   p.object_count = 20'000;
   p.requests_per_weight = 8'000;
-  p.duration_s = 2 * util::kHour;
+  p.duration_s = 2 * util::kHour.value();
   return p;
 }
 
