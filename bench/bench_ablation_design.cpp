@@ -8,11 +8,12 @@
 //       outages.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Ablations — prefetch vs relay, east link, policies, outages",
-                "Sections 3.2-3.4 (design discussion)");
-  const bench::VideoScenario scenario;
+  bench::Harness harness(
+      argc, argv, "Ablations — prefetch vs relay, east link, policies, outages",
+      "Sections 3.2-3.4 (design discussion)");
+  bench::VideoScenario& scenario = harness.scenario();
 
   const auto run = [&](core::SimConfig cfg,
                        std::initializer_list<core::Variant> variants) {
@@ -26,7 +27,7 @@ int main() {
 
   // (a) Relayed fetch vs proactive prefetch at the target configuration.
   {
-    core::SimConfig cfg;
+    core::SimConfig cfg = harness.sim_config();
     cfg.cache_capacity = util::gib(2);
     cfg.buckets = 9;
     const auto sim = run(cfg, {core::Variant::kStarCdn,
@@ -43,7 +44,7 @@ int main() {
                      util::fmt(static_cast<double>(m.prefetch_bytes) / 1e12, 2)});
     }
     table.print(std::cout, "(a) relayed fetch vs proactive prefetch");
-    table.write_csv(bench::results_dir() + "/ablation_prefetch.csv");
+    table.write_csv(harness.out_dir() + "/ablation_prefetch.csv");
     std::cout << "Paper claim (§3.3): prefetching is less efficient than\n"
                  "relayed fetch in hit rate and wastes ISL bandwidth and\n"
                  "cache space on content nobody requests.\n";
@@ -53,7 +54,7 @@ int main() {
   {
     util::TextTable table({"Relay links", "Request HR", "Byte HR"});
     for (const bool east : {true, false}) {
-      core::SimConfig cfg;
+      core::SimConfig cfg = harness.sim_config();
       cfg.cache_capacity = util::gib(2);
       cfg.buckets = 9;
       cfg.relay_east = east;
@@ -64,7 +65,7 @@ int main() {
                      util::fmt_pct(m.byte_hit_rate())});
     }
     table.print(std::cout, "(b) bidirectional east link");
-    table.write_csv(bench::results_dir() + "/ablation_east_link.csv");
+    table.write_csv(harness.out_dir() + "/ablation_east_link.csv");
     std::cout << "Paper claim (§3.3): the east link helps less than the\n"
                  "west but costs no extra latency, so it is kept.\n";
   }
@@ -77,7 +78,7 @@ int main() {
          {cache::Policy::kLru, cache::Policy::kLfu, cache::Policy::kFifo,
           cache::Policy::kSieve, cache::Policy::kSlru,
           cache::Policy::kGdsf}) {
-      core::SimConfig cfg;
+      core::SimConfig cfg = harness.sim_config();
       cfg.cache_capacity = util::gib(2);
       cfg.buckets = 9;
       cfg.policy = policy;
@@ -91,7 +92,7 @@ int main() {
                sim->metrics(core::Variant::kVanillaLru).request_hit_rate())});
     }
     table.print(std::cout, "(c) StarCDN over different eviction policies");
-    table.write_csv(bench::results_dir() + "/ablation_policies.csv");
+    table.write_csv(harness.out_dir() + "/ablation_policies.csv");
     std::cout << "Paper claim (§3.2): the consistent hashing scheme\n"
                  "accommodates any replacement scheme; gains persist.\n";
   }
@@ -101,7 +102,7 @@ int main() {
     util::TextTable table({"Outage probability", "Request HR",
                            "Transient misses", "Uplink usage"});
     for (const double p : {0.0, 0.01, 0.05, 0.15}) {
-      core::SimConfig cfg;
+      core::SimConfig cfg = harness.sim_config();
       cfg.cache_capacity = util::gib(2);
       cfg.buckets = 9;
       cfg.transient_down_prob = p;
@@ -113,7 +114,7 @@ int main() {
                      util::fmt_pct(m.normalized_uplink())});
     }
     table.print(std::cout, "(d) transient cache-server outages (§3.4)");
-    table.write_csv(bench::results_dir() + "/ablation_transient.csv");
+    table.write_csv(harness.out_dir() + "/ablation_transient.csv");
     std::cout << "Expectation: hit rate degrades roughly linearly in the\n"
                  "outage fraction — transient failures fall through to the\n"
                  "ground without destabilizing the bucket mapping.\n";

@@ -8,13 +8,18 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <initializer_list>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/run_report.h"
 #include "core/simulator.h"
+#include "obs/tracer.h"
 #include "orbit/constellation.h"
 #include "sched/scheduler.h"
 #include "trace/workload.h"
@@ -59,11 +64,12 @@ inline void banner(const std::string& what, const std::string& paper_ref) {
 /// once and reused across capacity sweeps.
 struct VideoScenario {
   explicit VideoScenario(util::Seconds duration = util::kDay,
-                         double scale = 1.0) {
+                         double scale = 1.0, std::uint64_t seed = 0) {
     params = trace::default_params(trace::TrafficClass::kVideo);
     params.duration_s = duration.value();
     params.requests_per_weight = static_cast<std::size_t>(
         static_cast<double>(params.requests_per_weight) * scale);
+    if (seed != 0) params.seed = seed;
     workload = std::make_unique<trace::WorkloadModel>(util::paper_cities(),
                                                       params);
     requests = trace::merge_by_time(workload->generate());
@@ -100,6 +106,169 @@ capacity_axis() {
   };
   return axis;
 }
+
+/// Uniform CLI + lifecycle shared by every bench binary. Replaces the
+/// copy-pasted banner / scenario / results-dir setup each bench used to
+/// carry. Flags (all optional; unknown flags abort with usage):
+///
+///   --threads=N    worker threads (default: STARCDN_THREADS env/cores)
+///   --seed=N       workload + simulator seed (default: repo defaults)
+///   --out=DIR      CSV output directory (default: bench_results)
+///   --epochs=N     truncate the scenario to N scheduler epochs (15 s
+///                  each) — the fast path for smoke tests and CI
+///   --scale=F      workload request-volume scale factor
+///   --trace=FILE   record a chrome://tracing JSON timeline to FILE
+///   --series=PFX   write per-variant epoch-series CSVs under
+///                  DIR/PFX<tag>_<variant>.csv from simulate() calls
+///
+/// The Harness installs the process tracer for --trace and writes the
+/// JSON on destruction, so `Harness h(argc, argv, ...)` at the top of
+/// main() is the whole integration.
+class Harness {
+ public:
+  struct Options {
+    int threads = 0;
+    std::uint64_t seed = 0;  // 0 = keep per-component defaults
+    std::string out_dir = "bench_results";
+    std::size_t epochs = 0;  // 0 = full-day scenario
+    double scale = 1.0;
+    std::string trace_path;
+    std::string series_prefix;
+  };
+
+  Harness(int argc, char** argv, const std::string& what,
+          const std::string& paper_ref) {
+    parse(argc, argv);
+    if (opts_.threads > 0) util::set_parallel_threads(opts_.threads);
+    if (!opts_.trace_path.empty()) {
+      tracer_ = std::make_unique<obs::Tracer>();
+      obs::set_tracer(tracer_.get());
+    }
+    banner(what, paper_ref);
+    std::printf("harness: threads=%d seed=%llu out=%s%s\n",
+                util::parallel_threads(),
+                static_cast<unsigned long long>(opts_.seed),
+                opts_.out_dir.c_str(),
+                opts_.epochs != 0 ? " (truncated scenario)" : "");
+  }
+
+  ~Harness() {
+    if (tracer_) {
+      obs::set_tracer(nullptr);
+      if (tracer_->write_json(opts_.trace_path)) {
+        std::printf("trace: %zu events -> %s (open in ui.perfetto.dev)\n",
+                    tracer_->events(), opts_.trace_path.c_str());
+      }
+    }
+  }
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  [[nodiscard]] const Options& opts() const noexcept { return opts_; }
+
+  /// Output directory (created on demand; failures ignored).
+  [[nodiscard]] const std::string& out_dir() const {
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.out_dir, ec);
+    return opts_.out_dir;
+  }
+  [[nodiscard]] std::string out_path(const std::string& file) const {
+    return out_dir() + "/" + file;
+  }
+
+  /// The shared evaluation scenario, built lazily so geometry-only
+  /// benches never pay for trace generation. --epochs / --scale / --seed
+  /// shape it.
+  [[nodiscard]] VideoScenario& scenario() {
+    if (!scenario_) {
+      const util::Seconds duration =
+          opts_.epochs != 0
+              ? util::Seconds{15.0 * static_cast<double>(opts_.epochs)}
+              : util::kDay;
+      scenario_ = std::make_unique<VideoScenario>(duration, opts_.scale,
+                                                  opts_.seed);
+    }
+    return *scenario_;
+  }
+
+  /// Bench-chosen scenario scale, honored unless --scale was passed.
+  /// Call before the first scenario() access.
+  Harness& default_scale(double s) {
+    if (!scale_set_) opts_.scale = s;
+    return *this;
+  }
+
+  /// Base SimConfig with the harness seed applied; benches layer their
+  /// per-point settings on top (or use SimConfig::Builder directly).
+  [[nodiscard]] core::SimConfig sim_config() const {
+    core::SimConfig cfg;
+    if (opts_.seed != 0) cfg.seed = opts_.seed;
+    return cfg;
+  }
+
+  /// One-call replay: register `variants`, replay the scenario, finish()
+  /// into a RunReport, and honor --series by dumping per-variant epoch
+  /// CSVs tagged with `tag`.
+  [[nodiscard]] core::RunReport simulate(
+      core::SimConfig cfg, std::initializer_list<core::Variant> variants,
+      const std::string& tag = "") {
+    if (opts_.seed != 0) cfg.seed = opts_.seed;
+    VideoScenario& s = scenario();
+    core::Simulator sim(*s.shell, *s.schedule, std::move(cfg));
+    for (const core::Variant v : variants) sim.add_variant(v);
+    sim.run(s.requests);
+    core::RunReport report = sim.finish();
+    if (!opts_.series_prefix.empty()) {
+      const auto paths = report.write_series_csv_files(
+          out_dir() + "/" + opts_.series_prefix + tag +
+          (tag.empty() ? "" : "_"));
+      for (const auto& p : paths) std::printf("series: %s\n", p.c_str());
+    }
+    return report;
+  }
+
+ private:
+  void parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      const auto eat = [&](const char* flag, std::string* into) {
+        const std::string prefix = std::string(flag) + "=";
+        if (a.rfind(prefix, 0) != 0) return false;
+        *into = a.substr(prefix.size());
+        return true;
+      };
+      std::string v;
+      if (eat("--threads", &v)) {
+        opts_.threads = std::atoi(v.c_str());
+      } else if (eat("--seed", &v)) {
+        opts_.seed = std::strtoull(v.c_str(), nullptr, 10);
+      } else if (eat("--out", &v)) {
+        opts_.out_dir = v;
+      } else if (eat("--epochs", &v)) {
+        opts_.epochs = std::strtoull(v.c_str(), nullptr, 10);
+      } else if (eat("--scale", &v)) {
+        opts_.scale = std::atof(v.c_str());
+        scale_set_ = true;
+      } else if (eat("--trace", &v)) {
+        opts_.trace_path = v;
+      } else if (eat("--series", &v)) {
+        opts_.series_prefix = v;
+      } else {
+        std::fprintf(stderr,
+                     "unknown flag %s\nusage: %s [--threads=N] [--seed=N] "
+                     "[--out=DIR] [--epochs=N] [--scale=F] [--trace=FILE] "
+                     "[--series=PREFIX]\n",
+                     a.c_str(), argv[0]);
+        std::exit(2);
+      }
+    }
+  }
+
+  Options opts_;
+  bool scale_set_ = false;
+  std::unique_ptr<VideoScenario> scenario_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
 
 /// Run `point_fn(label, capacity)` for every capacity_axis() entry and
 /// return the results in axis order. Points run concurrently (each one

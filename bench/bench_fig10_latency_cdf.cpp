@@ -6,10 +6,12 @@
 #include "net/latency_model.h"
 #include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Fig. 10 — latency CDFs", "Fig. 10a/10b, Section 5.3");
-  const bench::VideoScenario scenario(util::kDay, 0.5);
+  bench::Harness harness(argc, argv, "Fig. 10 — latency CDFs",
+                         "Fig. 10a/10b, Section 5.3");
+  harness.default_scale(0.5);
+  bench::VideoScenario& scenario = harness.scenario();
 
   // Analytic baselines (Cloudflare AIM substitution, DESIGN.md §3).
   const net::LatencyModel latency;
@@ -28,7 +30,7 @@ int main() {
 
   std::vector<std::unique_ptr<core::Simulator>> sims;
   for (const int buckets : {4, 9}) {
-    core::SimConfig cfg;
+    core::SimConfig cfg = harness.sim_config();
     cfg.cache_capacity = util::gib(8);
     cfg.buckets = buckets;
     auto sim = std::make_unique<core::Simulator>(*scenario.shell,
@@ -59,7 +61,7 @@ int main() {
     table.add_row(std::move(row));
   }
   table.print(std::cout, "Fig. 10: latency quantiles (ms)");
-  table.write_csv(bench::results_dir() + "/fig10_latency_cdf.csv");
+  table.write_csv(harness.out_dir() + "/fig10_latency_cdf.csv");
 
   const double star_median = series["StarCDN-L4"]->median();
   const double pipe_median = bentpipe.median();

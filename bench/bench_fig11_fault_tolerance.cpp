@@ -5,10 +5,11 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Fig. 11 — hit rate vs buckets served under failures",
-                "Fig. 11, Section 5.4");
+  bench::Harness harness(
+      argc, argv, "Fig. 11 — hit rate vs buckets served under failures",
+      "Fig. 11, Section 5.4");
 
   // Knock out 9.7% of slots (126 of 1296) as in §5.4.
   auto shell = std::make_unique<orbit::Constellation>(orbit::WalkerParams{});
@@ -19,7 +20,7 @@ int main() {
   const sched::LinkSchedule schedule(*shell, util::paper_cities(),
                                      util::Seconds{base.params.duration_s});
 
-  core::SimConfig cfg;
+  core::SimConfig cfg = harness.sim_config();
   cfg.cache_capacity = util::gib(8);  // the paper's 50 GB point
   cfg.buckets = 9;
   cfg.sample_latency = false;
@@ -58,7 +59,7 @@ int main() {
                                  static_cast<double>(g.bytes))});
   }
   table.print(std::cout, "Fig. 11: per-satellite hit rate by load");
-  table.write_csv(bench::results_dir() + "/fig11_fault_tolerance.csv");
+  table.write_csv(harness.out_dir() + "/fig11_fault_tolerance.csv");
   std::printf(
       "\nOverall under 9.7%% failures: request hit rate %.1f%%, uplink saving "
       "%.1f%% (paper: still saves 74%% of uplink).\n"

@@ -3,10 +3,11 @@
 // Static Cache bound and the LRU baseline.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Fig. 12 — web and download traffic classes",
-                "Fig. 12a-12d, Section 5.5");
+  bench::Harness harness(
+      argc, argv, "Fig. 12 — web and download traffic classes",
+      "Fig. 12a-12d, Section 5.5");
 
   const orbit::Constellation shell{orbit::WalkerParams{}};
 
@@ -42,7 +43,7 @@ int main() {
       // Static/LRU are L-independent and taken from the first.
       std::map<std::string, std::pair<double, double>> out;
       for (const int buckets : {9, 4}) {
-        core::SimConfig cfg;
+        core::SimConfig cfg = harness.sim_config();
         cfg.cache_capacity = capacity;
         cfg.buckets = buckets;
         cfg.sample_latency = false;
@@ -75,8 +76,8 @@ int main() {
     const std::string cls = to_string(traffic_class);
     rhr.print(std::cout, "Fig. 12 request hit rate — " + cls);
     bhr.print(std::cout, "Fig. 12 byte hit rate — " + cls);
-    rhr.write_csv(bench::results_dir() + "/fig12_rhr_" + cls + ".csv");
-    bhr.write_csv(bench::results_dir() + "/fig12_bhr_" + cls + ".csv");
+    rhr.write_csv(harness.out_dir() + "/fig12_rhr_" + cls + ".csv");
+    bhr.write_csv(harness.out_dir() + "/fig12_bhr_" + cls + ".csv");
   }
   std::cout <<
       "\nPaper shapes: StarCDN clearly above LRU for both classes (byte hit\n"

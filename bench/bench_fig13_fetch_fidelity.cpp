@@ -5,10 +5,11 @@
 
 #include "trace/spacegen.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Fig. 13 — fidelity under StarCDN-Fetch emulation",
-                "Fig. 13a-13d, Appendix A.2");
+  bench::Harness harness(
+      argc, argv, "Fig. 13 — fidelity under StarCDN-Fetch emulation",
+      "Fig. 13a-13d, Appendix A.2");
 
   auto params = trace::default_params(trace::TrafficClass::kVideo);
   params.object_count = 120'000;
@@ -55,7 +56,7 @@ int main() {
                    util::fmt_pct(pb), util::fmt_pct(sb)});
   }
   table.print(std::cout, "Fig. 13c/13d StarCDN-Fetch hit rates");
-  table.write_csv(bench::results_dir() + "/fig13_fetch_fidelity.csv");
+  table.write_csv(harness.out_dir() + "/fig13_fetch_fidelity.csv");
   std::printf(
       "Mean gaps under StarCDN-Fetch: request %.2f%%, byte %.2f%%\n"
       "(paper: 'difference between the two traces is small').\n",

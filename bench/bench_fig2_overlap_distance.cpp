@@ -7,10 +7,11 @@
 
 #include "trace/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Fig. 2 — overlap with New York vs distance",
-                "Fig. 2, Section 3.1.1");
+  bench::Harness harness(
+      argc, argv, "Fig. 2 — overlap with New York vs distance",
+      "Fig. 2, Section 3.1.1");
 
   auto params = trace::default_params(trace::TrafficClass::kVideo);
   params.duration_s = util::kDay.value();
@@ -42,7 +43,7 @@ int main() {
                    util::fmt_pct(row.r.traffic_overlap)});
   }
   table.print(std::cout, "Fig. 2 series (sorted by distance)");
-  table.write_csv(bench::results_dir() + "/fig2_overlap_distance.csv");
+  table.write_csv(harness.out_dir() + "/fig2_overlap_distance.csv");
   std::cout << "Paper shape: <3000 km -> ~55% objects / ~90% traffic;\n"
                "             >3000 km -> low overlap (London ~25% traffic).\n";
   return 0;

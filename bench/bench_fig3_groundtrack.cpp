@@ -7,10 +7,11 @@
 #include "net/isl_graph.h"
 #include "orbit/propagator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Fig. 3 / 5b — ground tracks & ISL grid",
-                "Fig. 3 and Fig. 5b, Sections 3.1/3.3");
+  bench::Harness harness(
+      argc, argv, "Fig. 3 / 5b — ground tracks & ISL grid",
+      "Fig. 3 and Fig. 5b, Sections 3.1/3.3");
 
   const orbit::Constellation shell{orbit::WalkerParams{}};
   const orbit::SatelliteId red{10, 0};
@@ -28,7 +29,7 @@ int main() {
                    util::fmt(g.lon_deg, 1)});
   }
   table.print(std::cout, "Ground tracks over one period");
-  table.write_csv(bench::results_dir() + "/fig3_groundtrack.csv");
+  table.write_csv(harness.out_dir() + "/fig3_groundtrack.csv");
 
   // Quantify the Fig. 3 claim: the trailing neighbour's track now is close
   // to where this satellite's track will be one drift interval later.

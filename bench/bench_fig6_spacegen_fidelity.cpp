@@ -40,9 +40,10 @@ double terrestrial_lru(const trace::LocationTrace& t, util::Bytes cap,
 
 }  // namespace
 
-int main() {
-  bench::banner("Fig. 6 — SpaceGEN synthetic vs production traces",
-                "Fig. 6a-6f, Section 4.3");
+int main(int argc, char** argv) {
+  bench::Harness harness(
+      argc, argv, "Fig. 6 — SpaceGEN synthetic vs production traces",
+      "Fig. 6a-6f, Section 4.3");
 
   // Production trace (our Akamai substitution) at a moderate scale.
   auto params = trace::default_params(trace::TrafficClass::kVideo);
@@ -73,7 +74,7 @@ int main() {
     }
     const std::string name = weighted ? "6b traffic spread" : "6a object spread";
     table.print(std::cout, "Fig. " + name);
-    table.write_csv(bench::results_dir() + "/fig" +
+    table.write_csv(harness.out_dir() + "/fig" +
                     (weighted ? std::string("6b_traffic_spread")
                               : std::string("6a_object_spread")) +
                     ".csv");
@@ -97,7 +98,7 @@ int main() {
     }
     table.print(std::cout, byte_rate ? "Fig. 6d CDN byte hit rate"
                                      : "Fig. 6c CDN request hit rate");
-    table.write_csv(bench::results_dir() +
+    table.write_csv(harness.out_dir() +
                     (byte_rate ? "/fig6d_cdn_bhr.csv" : "/fig6c_cdn_rhr.csv"));
     std::printf(
         "Mean gap: %.2f%% (paper: %.1f%% at ~250x our request density;\n"
@@ -136,7 +137,7 @@ int main() {
                        util::fmt_pct(pb), util::fmt_pct(sb)});
   }
   sat_table.print(std::cout, "Fig. 6e/6f satellite LRU hit rates");
-  sat_table.write_csv(bench::results_dir() + "/fig6ef_satellite_lru.csv");
+  sat_table.write_csv(harness.out_dir() + "/fig6ef_satellite_lru.csv");
   std::printf(
       "Mean gaps: request %.2f%%, byte %.2f%% (paper: 2%% / 1%%).\n"
       "Conclusion to reproduce: synthetic traces can stand in for\n"

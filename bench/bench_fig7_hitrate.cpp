@@ -3,11 +3,12 @@
 // L = 4 and L = 9 across the cache-size axis.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Fig. 7 — hit-rate curves (5 variants, L=4 and L=9)",
-                "Fig. 7a-7d, Section 5.2");
-  const bench::VideoScenario scenario;
+  bench::Harness harness(
+      argc, argv, "Fig. 7 — hit-rate curves (5 variants, L=4 and L=9)",
+      "Fig. 7a-7d, Section 5.2");
+  bench::VideoScenario& scenario = harness.scenario();
 
   struct Cell {
     double rhr[5];
@@ -31,7 +32,7 @@ int main() {
     const auto points = bench::sweep_capacity_axis(
         ("fig7 L=" + std::to_string(buckets)).c_str(),
         [&](const std::string& label, util::Bytes capacity) {
-          core::SimConfig cfg;
+          core::SimConfig cfg = harness.sim_config();
           cfg.cache_capacity = capacity;
           cfg.buckets = buckets;
           cfg.sample_latency = false;
@@ -55,8 +56,8 @@ int main() {
                                    std::to_string(buckets));
     bhr_table.print(std::cout,
                     "Fig. 7 byte hit rate, L=" + std::to_string(buckets));
-    rhr_table.write_csv(bench::results_dir() + "/fig7_rhr_" + suffix + ".csv");
-    bhr_table.write_csv(bench::results_dir() + "/fig7_bhr_" + suffix + ".csv");
+    rhr_table.write_csv(harness.out_dir() + "/fig7_rhr_" + suffix + ".csv");
+    bhr_table.write_csv(harness.out_dir() + "/fig7_bhr_" + suffix + ".csv");
   }
 
   std::cout <<

@@ -2,11 +2,12 @@
 // plain Starlink with no cache (every byte fetched from the ground).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Fig. 8 — normalized uplink usage (L=9)",
-                "Fig. 8, Section 5.2");
-  const bench::VideoScenario scenario;
+  bench::Harness harness(
+      argc, argv, "Fig. 8 — normalized uplink usage (L=9)",
+      "Fig. 8, Section 5.2");
+  bench::VideoScenario& scenario = harness.scenario();
 
   const std::vector<core::Variant> order = {core::Variant::kVanillaLru,
                                             core::Variant::kRelayOnly,
@@ -16,7 +17,7 @@ int main() {
                          "StarCDN-Fetch", "StarCDN"});
   auto rows = bench::sweep_capacity_axis(
       "fig8", [&](const std::string& label, util::Bytes capacity) {
-        core::SimConfig cfg;
+        core::SimConfig cfg = harness.sim_config();
         cfg.cache_capacity = capacity;
         cfg.buckets = 9;
         cfg.sample_latency = false;
@@ -31,11 +32,11 @@ int main() {
       });
   for (auto& row : rows) table.add_row(std::move(row));
   table.print(std::cout, "Fig. 8: uplink usage (% of no-cache Starlink)");
-  table.write_csv(bench::results_dir() + "/fig8_uplink.csv");
+  table.write_csv(harness.out_dir() + "/fig8_uplink.csv");
   {
     // Physical-budget check (Table 1: each GSL carries 20 Gbps): peak
     // per-satellite-epoch uplink throughput must stay far below capacity.
-    core::SimConfig cfg;
+    core::SimConfig cfg = harness.sim_config();
     cfg.cache_capacity = util::gib(2);
     cfg.buckets = 9;
     cfg.sample_latency = false;

@@ -5,17 +5,18 @@
 
 #include "net/latency_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Fig. 9 — routing latency and hit rate vs bucket count L",
-                "Fig. 9, Section 5.3");
-  const bench::VideoScenario scenario;
+  bench::Harness harness(
+      argc, argv, "Fig. 9 — routing latency and hit rate vs bucket count L",
+      "Fig. 9, Section 5.3");
+  bench::VideoScenario& scenario = harness.scenario();
   const net::LatencyModel latency;
 
   util::TextTable table({"L", "Worst-case hops", "Worst routing RTT (ms)",
                          "Request hit rate @ small cache"});
   for (const int buckets : {1, 4, 9, 16, 25}) {
-    core::SimConfig cfg;
+    core::SimConfig cfg = harness.sim_config();
     cfg.cache_capacity = util::gib(1);  // the paper's smallest (10 GB) point
     cfg.buckets = buckets;
     cfg.sample_latency = false;
@@ -36,7 +37,7 @@ int main() {
                        sim.metrics(core::Variant::kHashOnly).request_hit_rate())});
   }
   table.print(std::cout, "Fig. 9: latency/hit-rate tradeoff in L");
-  table.write_csv(bench::results_dir() + "/fig9_latency_buckets.csv");
+  table.write_csv(harness.out_dir() + "/fig9_latency_buckets.csv");
   std::cout <<
       "\nPaper shapes: hit rate grows with L; worst-case RTT identical for\n"
       "L=4 and L=9 (2*floor(sqrt(L)/2) is 2 hops for both) and jumps to\n"

@@ -45,9 +45,10 @@ trace::WorkloadParams base_params() {
 
 }  // namespace
 
-int main() {
-  bench::banner("Sensitivity — is the StarCDN advantage parameter-robust?",
-                "reproduction methodology (EXPERIMENTS.md)");
+int main(int argc, char** argv) {
+  bench::Harness harness(
+      argc, argv, "Sensitivity — is the StarCDN advantage parameter-robust?",
+      "reproduction methodology (EXPERIMENTS.md)");
 
   util::TextTable table({"Perturbation", "StarCDN RHR", "LRU RHR", "Gap"});
   const auto add = [&](const std::string& name, const Outcome& o) {
@@ -85,7 +86,7 @@ int main() {
   }
 
   table.print(std::cout, "Sensitivity sweep (StarCDN L=9 vs naive LRU)");
-  table.write_csv(bench::results_dir() + "/sensitivity.csv");
+  table.write_csv(harness.out_dir() + "/sensitivity.csv");
   std::cout << "\nRobustness criterion: the StarCDN-vs-LRU gap stays large\n"
                "and positive at every perturbation; absolute levels move\n"
                "with the workload, the ordering must not.\n";

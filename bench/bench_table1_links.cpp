@@ -7,10 +7,11 @@
 
 #include "net/link.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Table 1 — link propagation delays & bandwidth",
-                "Table 1, Section 2.1");
+  bench::Harness harness(
+      argc, argv, "Table 1 — link propagation delays & bandwidth",
+      "Table 1, Section 2.1");
 
   const orbit::Constellation shell{orbit::WalkerParams{}};
   std::vector<util::GeoCoord> grounds;
@@ -33,6 +34,6 @@ int main() {
       "2.15 / 0.492 / 1.32");
   row("GSL", stats.gsl, net::LinkType::kGsl, "2.94 / 1.01 / 1.82");
   table.print(std::cout, "Table 1 (geometry-derived)");
-  table.write_csv(bench::results_dir() + "/table1_links.csv");
+  table.write_csv(harness.out_dir() + "/table1_links.csv");
   return 0;
 }

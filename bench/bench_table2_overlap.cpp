@@ -5,10 +5,11 @@
 
 #include "trace/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Table 2 — cross-country content overlap",
-                "Table 2, Section 3.1.1");
+  bench::Harness harness(
+      argc, argv, "Table 2 — cross-country content overlap",
+      "Table 2, Section 3.1.1");
 
   auto params = trace::default_params(trace::TrafficClass::kVideo);
   params.duration_s = util::kDay.value();
@@ -34,7 +35,7 @@ int main() {
     table.add_row(std::move(cells));
   }
   table.print(std::cout, "Table 2: objects%(traffic%) overlap");
-  table.write_csv(bench::results_dir() + "/table2_overlap.csv");
+  table.write_csv(harness.out_dir() + "/table2_overlap.csv");
   std::cout << "Paper: GB->DE 11%(49%)  GB->TR 2%(15%)  DE->GB 16%(45%)\n"
                "       DE->TR 4%(31%)   TR->GB 23%(37%) TR->DE 34%(72%)\n"
                "Takeaway to reproduce: overlap is LOW across languages.\n";

@@ -4,11 +4,11 @@
 // footprint relayed fetch exploits.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace starcdn;
-  bench::banner("Table 3 — relay availability on owner miss (L=4)",
-                "Table 3, Section 5.2.2");
-  const bench::VideoScenario scenario;
+  bench::Harness harness(
+      argc, argv, "Table 3 — relay availability on owner miss (L=4)",
+      "Table 3, Section 5.2.2");
 
   util::TextTable table({"Cache(GB)", "West only (req K)", "West only (GB)",
                          "East only (req K)", "East only (GB)",
@@ -19,14 +19,14 @@ int main() {
   for (const auto& [label, capacity] :
        std::vector<std::pair<std::string, util::Bytes>>{
            {"10", util::mib(256)}, {"50", util::mib(512)}, {"100", util::gib(1)}}) {
-    core::SimConfig cfg;
-    cfg.cache_capacity = capacity;
-    cfg.buckets = 4;
-    cfg.sample_latency = false;
-    core::Simulator sim(*scenario.shell, *scenario.schedule, cfg);
-    sim.add_variant(core::Variant::kStarCdn);
-    sim.run(scenario.requests);
-    const auto& rel = sim.metrics(core::Variant::kStarCdn).relay;
+    const auto cfg = core::SimConfig::Builder{}
+                         .cache_capacity(capacity)
+                         .buckets(4)
+                         .sample_latency(false)
+                         .build();
+    const core::RunReport report =
+        harness.simulate(cfg, {core::Variant::kStarCdn}, "table3_" + label);
+    const auto& rel = report.variant(core::Variant::kStarCdn).metrics.relay;
     table.add_row({label,
                    util::fmt(static_cast<double>(rel.west_only_requests) / 1e3, 1),
                    util::fmt(static_cast<double>(rel.west_only_bytes) / 1e9, 1),
@@ -36,7 +36,7 @@ int main() {
                    util::fmt(static_cast<double>(rel.both_bytes) / 1e9, 1)});
   }
   table.print(std::cout, "Table 3: availability in inter-orbit neighbours");
-  table.write_csv(bench::results_dir() + "/table3_relay_availability.csv");
+  table.write_csv(harness.out_dir() + "/table3_relay_availability.csv");
   std::cout <<
       "\nPaper shape (requests, millions at their scale): west-only ~2x\n"
       "east-only at every size, growing with cache size; 'both' smallest.\n"

@@ -31,12 +31,13 @@ int main() {
     const sched::LinkSchedule schedule(shell, util::paper_cities(),
                                        util::Seconds{p.duration_s});
 
-    core::SimConfig cfg;
-    cfg.cache_capacity = util::gib(4);
-    cfg.buckets = 9;
-    cfg.sample_latency = false;
+    const auto cfg = core::SimConfig::Builder{}
+                         .cache_capacity(util::gib(4))
+                         .buckets(9)
+                         .sample_latency(false)
+                         .variant(core::Variant::kStarCdn)
+                         .build();
     core::Simulator sim(shell, schedule, cfg);
-    sim.add_variant(core::Variant::kStarCdn);
     sim.run(requests);
 
     const auto& m = sim.metrics(core::Variant::kStarCdn);

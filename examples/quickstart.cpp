@@ -4,8 +4,9 @@
 //   $ ./quickstart
 //
 // Walks through the whole public API in ~60 lines: city list -> workload ->
-// constellation -> link schedule -> simulator -> metrics.
+// constellation -> link schedule -> simulator -> run report.
 #include <cstdio>
+#include <fstream>
 
 #include "core/simulator.h"
 #include "orbit/constellation.h"
@@ -35,17 +36,22 @@ int main() {
   std::printf("schedule: %zu epochs, %.1f satellites visible on average\n",
               schedule.epochs(), schedule.mean_candidates());
 
-  // 4. Simulate StarCDN (L=4 buckets, relayed fetch) vs naive LRU.
-  core::SimConfig cfg;
-  cfg.cache_capacity = util::gib(2);
-  cfg.buckets = 4;
+  // 4. Simulate StarCDN (L=4 buckets, relayed fetch) vs naive LRU. The
+  //    Builder validates the settings before anything heavyweight runs.
+  const auto cfg = core::SimConfig::Builder{}
+                       .cache_capacity(util::gib(2))
+                       .buckets(4)
+                       .variants({core::Variant::kVanillaLru,
+                                  core::Variant::kStarCdn})
+                       .build();
   core::Simulator sim(shell, schedule, cfg);
-  sim.add_variant(core::Variant::kStarCdn);
-  sim.add_variant(core::Variant::kVanillaLru);
   sim.run(requests);
 
+  // 5. finish() seals the run into a self-contained report: totals,
+  //    latency quantiles, and a per-epoch time-series per variant.
+  const core::RunReport report = sim.finish();
   for (const auto v : {core::Variant::kVanillaLru, core::Variant::kStarCdn}) {
-    const auto& m = sim.metrics(v);
+    const auto& m = report.variant(v).metrics;
     std::printf(
         "%-14s request hit rate %5.1f%%  byte hit rate %5.1f%%  "
         "uplink usage %5.1f%%  median latency %5.1f ms\n",
@@ -53,5 +59,11 @@ int main() {
         100.0 * m.byte_hit_rate(), 100.0 * m.normalized_uplink(),
         m.latency_ms.median());
   }
+
+  // Epoch time-series: hit rate per 15 s scheduler epoch (Fig.-7-over-time).
+  std::ofstream series("quickstart_starcdn_series.csv");
+  report.write_series_csv(core::Variant::kStarCdn, series);
+  std::printf("per-epoch series (%zu epochs) -> quickstart_starcdn_series.csv\n",
+              report.variant(core::Variant::kStarCdn).series.rows());
   return 0;
 }

@@ -14,12 +14,20 @@
 //     --transient-prob P             transient outage prob   (0)
 //     --global-cities                use the 27-city world set
 //     --csv PATH                     append one CSV row per variant
+//     --seed N                       workload + simulator seed
+//     --series-csv PREFIX            per-variant epoch time-series CSVs
+//                                    (PREFIX<variant>.csv)
+//     --trace PATH                   chrome://tracing JSON timeline
+//     --json PATH                    full RunReport as JSON
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
 #include "core/simulator.h"
+#include "obs/tracer.h"
 #include "trace/workload.h"
 #include "util/csv.h"
 #include "util/geo.h"
@@ -42,9 +50,10 @@ core::Variant parse_variant(const std::string& name) {
 
 int main(int argc, char** argv) {
   std::string cls = "video", variants_arg = "starcdn,lru", policy = "lru";
-  std::string csv_path;
+  std::string csv_path, series_prefix, trace_path, json_path;
   double capacity_gib = 2.0, hours = 6.0, scale = 0.25;
   double fail_fraction = 0.0, transient_prob = 0.0;
+  std::uint64_t seed = 0;
   int buckets = 4;
   bool global = false;
 
@@ -66,6 +75,10 @@ int main(int argc, char** argv) {
       else if (a == "--transient-prob") transient_prob = std::stod(next());
       else if (a == "--global-cities") global = true;
       else if (a == "--csv") csv_path = next();
+      else if (a == "--seed") seed = std::stoull(next());
+      else if (a == "--series-csv") series_prefix = next();
+      else if (a == "--trace") trace_path = next();
+      else if (a == "--json") json_path = next();
       else {
         std::fprintf(stderr, "unknown option %s (see header comment)\n",
                      a.c_str());
@@ -81,11 +94,17 @@ int main(int argc, char** argv) {
   if (cls == "web") traffic_class = trace::TrafficClass::kWeb;
   else if (cls == "download") traffic_class = trace::TrafficClass::kDownload;
 
+  // Tracing observes phase structure only; install before schedule
+  // construction so LinkSchedule::build lands on the timeline.
+  obs::Tracer tracer;
+  if (!trace_path.empty()) obs::set_tracer(&tracer);
+
   const auto& cities = global ? util::global_cities() : util::paper_cities();
   auto params = trace::default_params(traffic_class);
   params.duration_s = hours * util::kHour.value();
   params.requests_per_weight = static_cast<std::size_t>(
       static_cast<double>(params.requests_per_weight) * scale);
+  if (seed != 0) params.seed = seed;
   const trace::WorkloadModel workload(cities, params);
   const auto requests = trace::merge_by_time(workload.generate());
 
@@ -96,12 +115,12 @@ int main(int argc, char** argv) {
   }
   const sched::LinkSchedule schedule(shell, cities, util::Seconds{params.duration_s});
 
-  core::SimConfig cfg;
-  cfg.cache_capacity = util::gib(capacity_gib);
-  cfg.buckets = buckets;
-  cfg.policy = cache::parse_policy(policy);
-  cfg.transient_down_prob = transient_prob;
-  core::Simulator sim(shell, schedule, cfg);
+  core::SimConfig::Builder builder;
+  builder.cache_capacity(util::gib(capacity_gib))
+      .buckets(buckets)
+      .policy(cache::parse_policy(policy))
+      .transient_failures(transient_prob, util::Seconds{300.0});
+  if (seed != 0) builder.seed(seed);
 
   std::vector<core::Variant> variants;
   std::stringstream ss(variants_arg);
@@ -113,25 +132,43 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", e.what());
       return 1;
     }
-    sim.add_variant(variants.back());
+    builder.variant(variants.back());
   }
+
+  core::SimConfig cfg;
+  try {
+    cfg = builder.build();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  core::Simulator sim(shell, schedule, cfg);
 
   std::printf(
       "class=%s cities=%zu requests=%zu cache=%.1fGiB L=%d policy=%s "
       "fail=%.1f%% transient=%.1f%%\n",
       cls.c_str(), cities.size(), requests.size(), capacity_gib, buckets,
       policy.c_str(), 100 * fail_fraction, 100 * transient_prob);
-  sim.run(requests);
+  // Sinks fire inside finish(): summary to stdout, optional time-series
+  // CSVs and the chrome trace alongside.
+  core::SummarySink summary(std::cout);
+  sim.add_sink(summary);
+  core::SeriesCsvSink series(series_prefix);
+  if (!series_prefix.empty()) sim.add_sink(series);
+  core::TraceJsonSink trace_sink(trace_path);
+  if (!trace_path.empty()) sim.add_sink(trace_sink);
 
-  std::printf("\n%-18s %8s %8s %8s %10s %10s %10s\n", "variant", "RHR", "BHR",
-              "uplink", "p50 ms", "p95 ms", "ISL TB");
-  for (const auto v : variants) {
-    const auto& m = sim.metrics(v);
-    std::printf("%-18s %7.1f%% %7.1f%% %7.1f%% %10.1f %10.1f %10.2f\n",
-                core::to_string(v), 100 * m.request_hit_rate(),
-                100 * m.byte_hit_rate(), 100 * m.normalized_uplink(),
-                m.latency_ms.median(), m.latency_ms.quantile(0.95),
-                static_cast<double>(m.isl_bytes) / 1e12);
+  sim.run(requests);
+  const core::RunReport report = sim.finish();
+
+  for (const auto& p : series.paths()) std::printf("series: %s\n", p.c_str());
+  if (trace_sink.written()) {
+    std::printf("trace: %s (open in ui.perfetto.dev)\n", trace_path.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    report.write_json(out);
+    if (out) std::printf("report: %s\n", json_path.c_str());
   }
 
   if (!csv_path.empty()) {
@@ -139,7 +176,7 @@ int main(int argc, char** argv) {
     w.row({"variant", "class", "capacity_gib", "buckets", "policy", "rhr",
            "bhr", "uplink", "p50_ms", "p95_ms"});
     for (const auto v : variants) {
-      const auto& m = sim.metrics(v);
+      const auto& m = report.variant(v).metrics;
       w.row({core::to_string(v), cls, std::to_string(capacity_gib),
              std::to_string(buckets), policy,
              std::to_string(m.request_hit_rate()),
@@ -150,5 +187,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\nwrote %s\n", csv_path.c_str());
   }
+  obs::set_tracer(nullptr);
   return 0;
 }

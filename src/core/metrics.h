@@ -3,6 +3,7 @@
 // availability (Table 3) and per-satellite counters (Fig. 11).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -11,6 +12,10 @@
 #include "util/units.h"
 
 namespace starcdn::core {
+
+/// Default latency-reservoir size (SimConfig::latency_reservoir documents
+/// the memory/accuracy trade-off behind this number).
+inline constexpr std::size_t kDefaultLatencyReservoir = 200'000;
 
 /// Outcome of relay probes on an owner miss (Table 3's columns).
 struct RelayAvailability {
@@ -32,6 +37,8 @@ struct VariantMetrics {
   std::uint64_t unreachable = 0;   // no satellite in view (coverage gap)
 
   std::uint64_t transient_misses = 0;  // serving cache briefly down (§3.4)
+  std::uint64_t handovers = 0;  // first-contact satellite changed at an
+                                // epoch boundary (scheduler reshuffle)
 
   util::Bytes bytes_requested = 0;
   util::Bytes bytes_hit = 0;
@@ -39,7 +46,7 @@ struct VariantMetrics {
   util::Bytes isl_bytes = 0;       // object bytes moved across ISLs
   util::Bytes prefetch_bytes = 0;  // speculative transfers (kPrefetch only)
 
-  util::QuantileSampler latency_ms{200'000};
+  util::QuantileSampler latency_ms{kDefaultLatencyReservoir};
 
   /// Per-(satellite, epoch) GSL throughput accounting; quantifies pressure
   /// on the 20 Gbps uplink budget of Table 1. Finalized by Simulator::run.

@@ -1,7 +1,11 @@
 #include "core/simulator.h"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "obs/prof.h"
+#include "obs/tracer.h"
 #include "util/hash.h"
 #include "util/parallel.h"
 
@@ -23,14 +27,90 @@ const char* to_string(Variant v) noexcept {
   return "?";
 }
 
+namespace {
+
+[[noreturn]] void bad_config(const std::string& what) {
+  throw std::invalid_argument("SimConfig: " + what);
+}
+
+bool perfect_square(int n) noexcept {
+  if (n < 1) return false;
+  int r = 0;
+  while ((r + 1) * (r + 1) <= n) ++r;
+  return r * r == n;
+}
+
+SimConfig validated(SimConfig config) {
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+void SimConfig::validate() const {
+  if (cache_capacity == 0) bad_config("cache_capacity must be positive");
+  if (!perfect_square(buckets)) {
+    bad_config("buckets must be a positive perfect square (the replica "
+               "grid tiles L = s*s orbital slots); got " +
+               std::to_string(buckets));
+  }
+  if (prefetch_objects_per_epoch < 0) {
+    bad_config("prefetch_objects_per_epoch must be >= 0");
+  }
+  if (transient_down_prob < 0.0 || transient_down_prob > 1.0) {
+    bad_config("transient_down_prob must be in [0, 1]; got " +
+               std::to_string(transient_down_prob));
+  }
+  if (transient_window.value() <= 0.0) {
+    bad_config("transient_window must be positive");
+  }
+}
+
+SimConfig SimConfig::Builder::build() const {
+  if (prefetch_set_ && !cfg_.variants.empty()) {
+    bool has_prefetch = false;
+    for (const Variant v : cfg_.variants) {
+      has_prefetch = has_prefetch || v == Variant::kPrefetch;
+    }
+    if (!has_prefetch) {
+      bad_config("prefetch_objects_per_epoch is set but Variant::kPrefetch "
+                 "is not among the registered variants — the knob would "
+                 "silently do nothing");
+    }
+  }
+  cfg_.validate();
+  return cfg_;
+}
+
 Simulator::Simulator(const orbit::Constellation& constellation,
                      const sched::LinkSchedule& schedule, SimConfig config,
                      net::LatencyModelParams latency_params)
     : constellation_(&constellation),
       schedule_(&schedule),
-      config_(config),
-      mapper_(constellation, config.buckets),
-      latency_(latency_params) {}
+      config_(validated(std::move(config))),
+      mapper_(constellation, config_.buckets),
+      latency_(latency_params),
+      ids_(register_core_metrics(registry_)) {
+  // Surface the constellation's failure remapping in the trace timeline:
+  // one instant per inactive satellite, tagged with the slot that absorbs
+  // its buckets (Fig. 11's failure scenario).
+  if (obs::Tracer* tr = obs::tracer()) {
+    for (int i = 0; i < constellation_->size(); ++i) {
+      const SatId idx{i};
+      if (constellation_->active(idx)) continue;
+      std::vector<obs::TraceArg> args{
+          obs::arg("sat", static_cast<std::int64_t>(i))};
+      if (const auto target = mapper_.remap(constellation_->id_of(idx))) {
+        args.push_back(obs::arg(
+            "remapped_to",
+            static_cast<std::int64_t>(
+                constellation_->index_of(*target).value())));
+      }
+      tr->instant("sat_failed", "failure", std::move(args));
+    }
+  }
+  for (const Variant v : config_.variants) add_variant(v);
+}
 
 void Simulator::add_variant(Variant v) {
   for (const auto& vs : variants_) {
@@ -49,6 +129,11 @@ void Simulator::add_variant(Variant v) {
   vs.rng = util::Rng(config_.seed ^ static_cast<std::uint64_t>(v));
   vs.request_counter =
       variants_.empty() ? 0 : variants_.front().request_counter;
+  vs.shard = obs::Shard(registry_);
+  if (config_.record_epoch_series) {
+    vs.series = obs::EpochSeries(&registry_, core_series_columns(ids_));
+  }
+  vs.metrics.latency_ms = util::QuantileSampler(config_.latency_reservoir);
   vs.caches.resize(static_cast<std::size_t>(constellation_->size()));
   if (v == Variant::kPrefetch) {
     vs.prefetch_epoch.assign(static_cast<std::size_t>(constellation_->size()),
@@ -64,11 +149,20 @@ void Simulator::add_variant(Variant v) {
   variants_.push_back(std::move(vs));
 }
 
+void Simulator::add_sink(MetricsSink& sink) { sinks_.push_back(&sink); }
+
 const VariantMetrics& Simulator::metrics(Variant v) const {
   for (const auto& vs : variants_) {
     if (vs.variant == v) return vs.metrics;
   }
   throw std::out_of_range("Simulator::metrics: variant not registered");
+}
+
+const obs::Shard& Simulator::shard(Variant v) const {
+  for (const auto& vs : variants_) {
+    if (vs.variant == v) return vs.shard;
+  }
+  throw std::out_of_range("Simulator::shard: variant not registered");
 }
 
 cache::Cache& Simulator::cache_at(VariantState& vs, SatId sat) {
@@ -96,14 +190,22 @@ void Simulator::note_sat(VariantState& vs, SatId sat,
 
 void Simulator::run(const std::vector<trace::Request>& requests) {
   if (variants_.empty() || requests.empty()) return;
+  STARCDN_PROF_SCOPE("Simulator::run");
+  obs::TraceSpan run_span(
+      obs::tracer(), "Simulator::run", "core",
+      {obs::arg("requests", static_cast<std::uint64_t>(requests.size())),
+       obs::arg("variants", static_cast<std::uint64_t>(variants_.size()))});
 
   // Stage 1 — shared per-request context, hoisted out of the variant loop:
-  // the scheduler epoch, the issuing user terminal, and the first-contact
+  // the scheduler epoch, the issuing user terminal, the first-contact
   // lookup (once for the real epoch and once for epoch 0 when a kStatic
-  // variant is registered, instead of once per variant). Each slot is a
-  // pure function of the request index, so this fans out over requests.
+  // variant is registered, instead of once per variant), and whether the
+  // scheduler's reshuffle handed this user to a different satellite than
+  // the previous epoch. Each slot is a pure function of the request index,
+  // so this fans out over requests.
   struct RequestContext {
     EpochIdx epoch{0};
+    bool handover = false;       // first contact differs from epoch - 1's
     sched::Candidate fc;         // first contact at the real epoch
     sched::Candidate fc_static;  // first contact at the frozen epoch 0
   };
@@ -117,38 +219,107 @@ void Simulator::run(const std::vector<trace::Request>& requests) {
   const auto users_per_city =
       static_cast<std::uint64_t>(schedule_->params().users_per_city);
   std::vector<RequestContext> ctx(requests.size());
-  util::parallel_for(requests.size(), [&](std::size_t i) {
-    const trace::Request& r = requests[i];
-    RequestContext& c = ctx[i];
-    c.epoch = schedule_->epoch_of(util::Seconds{r.timestamp_s});
-    // Logical user terminal issuing this request: rotates through the
-    // city's population so an epoch's requests spread over the candidate
-    // satellites exactly as CosmicBeats splits them (§5.1).
-    const std::uint64_t user =
-        util::splitmix64(counter_base + i) % users_per_city;
-    const CityId city{r.location};
-    c.fc = schedule_->first_contact(c.epoch, city, user);
-    if (need_static) {
-      c.fc_static = schedule_->first_contact(EpochIdx{0}, city, user);
-    }
-  });
+  {
+    STARCDN_PROF_SCOPE("Simulator::stage1_context");
+    const obs::TraceSpan stage1_span(obs::tracer(), "stage1_context", "core");
+    util::parallel_for(requests.size(), [&](std::size_t i) {
+      const trace::Request& r = requests[i];
+      RequestContext& c = ctx[i];
+      c.epoch = schedule_->epoch_of(util::Seconds{r.timestamp_s});
+      // Logical user terminal issuing this request: rotates through the
+      // city's population so an epoch's requests spread over the candidate
+      // satellites exactly as CosmicBeats splits them (§5.1).
+      const std::uint64_t user =
+          util::splitmix64(counter_base + i) % users_per_city;
+      const CityId city{r.location};
+      c.fc = schedule_->first_contact(c.epoch, city, user);
+      if (c.epoch.value() > 0 && c.fc.sat.value() >= 0) {
+        const sched::Candidate prev = schedule_->first_contact(
+            EpochIdx{c.epoch.value() - 1}, city, user);
+        c.handover = prev.sat.value() != c.fc.sat.value();
+      }
+      if (need_static) {
+        c.fc_static = schedule_->first_contact(EpochIdx{0}, city, user);
+      }
+    });
+  }
 
   // Stage 2 — one worker per variant. Each VariantState is self-contained
-  // (caches, metrics, RNG, transient model, counter), and requests within a
-  // variant replay strictly in trace order, so metrics are bitwise
-  // identical for any thread count.
+  // (caches, metrics shard, series, RNG, transient model, counter), and
+  // requests within a variant replay strictly in trace order, so metrics
+  // are bitwise identical for any thread count.
   util::parallel_for(variants_.size(), [&](std::size_t vi) {
+    STARCDN_PROF_SCOPE("Simulator::variant_replay");
     VariantState& vs = variants_[vi];
+    const obs::TraceSpan replay_span(obs::tracer(), to_string(vs.variant),
+                                     "variant");
+    // Epoch-boundary instants come from one variant only, or the timeline
+    // would repeat per worker.
+    obs::Tracer* const tr = vi == 0 ? obs::tracer() : nullptr;
+    std::uint64_t marked_epoch = ~0ULL;
     const bool is_static = vs.variant == Variant::kStatic;
+    const bool record_series = vs.series.enabled();
     for (std::size_t i = 0; i < requests.size(); ++i) {
       ++vs.request_counter;
+      const std::uint64_t real = ctx[i].epoch.value();
+      if (record_series) vs.series.advance_to(real, vs.shard);
+      if (tr != nullptr && real != marked_epoch) {
+        marked_epoch = real;
+        tr->instant("epoch", "sim", {obs::arg("epoch", real)});
+      }
+      // Handover accounting rides on the shared stage-1 context; kStatic
+      // freezes the mapping, so it never hands over by construction.
+      if (!is_static && ctx[i].handover) vs.shard.add(ids_.handovers);
       const EpochIdx sched_epoch = is_static ? EpochIdx{0} : ctx[i].epoch;
       process(vs, requests[i], sched_epoch, ctx[i].epoch,
               is_static ? ctx[i].fc_static : ctx[i].fc);
     }
-    // Fold the trailing epoch's uplink accumulation into the statistics.
+    // Fold the trailing epoch's uplink accumulation into the statistics,
+    // then project the shard back onto the legacy VariantMetrics view.
     vs.metrics.uplink_meter.flush();
+    shard_to_metrics(ids_, vs.shard, vs.metrics);
   });
+}
+
+RunReport Simulator::finish() {
+  STARCDN_PROF_SCOPE("Simulator::finish");
+  const obs::TraceSpan span(obs::tracer(), "Simulator::finish", "core");
+  RunReport report;
+  report.epoch_seconds = schedule_->epoch_duration().value();
+  report.seed = config_.seed;
+
+  std::vector<const obs::Shard*> shards;
+  shards.reserve(variants_.size());
+  for (auto& vs : variants_) {
+    vs.metrics.uplink_meter.flush();  // no-op unless a run left a partial
+    vs.series.finish(vs.shard);       // close the trailing partial epoch
+    shard_to_metrics(ids_, vs.shard, vs.metrics);
+
+    VariantReport vr;
+    vr.variant = vs.variant;
+    vr.name = to_string(vs.variant);
+    vr.metrics = vs.metrics;
+    vr.series = vs.series.table(report.epoch_seconds);
+    for (const auto& d : registry_.descriptors()) {
+      if (d.kind != obs::Kind::kCounter) continue;
+      vr.counters.emplace_back(d.name,
+                               vs.shard.value(obs::CounterId{d.slot}));
+    }
+    report.variants.push_back(std::move(vr));
+    shards.push_back(&vs.shard);
+  }
+
+  // Fleet totals: shards merged in variant registration order — the
+  // determinism contract of obs::merge.
+  const obs::Shard merged = obs::merge(registry_, shards);
+  for (const auto& d : registry_.descriptors()) {
+    if (d.kind != obs::Kind::kCounter) continue;
+    report.totals.emplace_back(d.name, merged.value(obs::CounterId{d.slot}));
+  }
+  report.profile = obs::profile_report();
+
+  for (MetricsSink* sink : sinks_) sink->consume(report);
+  return report;
 }
 
 void Simulator::maybe_prefetch(VariantState& vs, SatId serving,
@@ -173,25 +344,30 @@ void Simulator::maybe_prefetch(VariantState& vs, SatId serving,
            static_cast<std::size_t>(config_.prefetch_objects_per_epoch))) {
     if (own.peek(id)) continue;
     own.admit(id, size);
-    vs.metrics.isl_bytes += size;
-    vs.metrics.prefetch_bytes += size;
+    vs.shard.add(ids_.isl_bytes, size);
+    vs.shard.add(ids_.prefetch_bytes, size);
   }
 }
 
 void Simulator::process(VariantState& vs, const trace::Request& r,
                         EpochIdx sched_epoch, EpochIdx real_epoch,
                         const sched::Candidate& fc) {
-  VariantMetrics& m = vs.metrics;
-  ++m.requests;
-  m.bytes_requested += r.size;
+  VariantMetrics& m = vs.metrics;  // sampler + uplink meter + sat_* only;
+  obs::Shard& sh = vs.shard;       // every scalar counter goes here
+  sh.add(ids_.requests);
+  sh.add(ids_.bytes_requested, r.size);
+  const auto sample = [&](double ms) {
+    m.latency_ms.add(ms);
+    sh.observe(ids_.latency_ms, ms);
+  };
 
   if (fc.sat.value() < 0) {
     // Coverage gap: served bent-pipe from the ground via a remote link.
-    ++m.unreachable;
-    ++m.misses;
-    m.uplink_bytes += r.size;
+    sh.add(ids_.unreachable);
+    sh.add(ids_.misses);
+    sh.add(ids_.uplink_bytes, r.size);
     if (config_.sample_latency) {
-      m.latency_ms.add(
+      sample(
           latency_.bentpipe_starlink(latency_.params().default_gsl, vs.rng)
               .value());
     }
@@ -220,12 +396,12 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
   // Transient cache-server outage (§3.4): report a miss and go to ground;
   // nothing is cached and no remapping happens.
   if (vs.transient.down(serving_idx, util::Seconds{r.timestamp_s})) {
-    ++vs.metrics.transient_misses;
-    ++m.misses;
-    m.uplink_bytes += r.size;
+    sh.add(ids_.transient_misses);
+    sh.add(ids_.misses);
+    sh.add(ids_.uplink_bytes, r.size);
     m.uplink_meter.add(serving_idx, real_epoch, r.size);
     if (config_.sample_latency) {
-      m.latency_ms.add(
+      sample(
           latency_.miss(gsl, route, latency_.params().default_gsl, vs.rng)
               .value());
     }
@@ -239,18 +415,17 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
 
   // --- Hit at the serving satellite ---------------------------------------
   if (serving_cache.touch(r.object)) {
-    m.bytes_hit += r.size;
+    sh.add(ids_.bytes_hit, r.size);
     if (serving_idx == fc.sat) {
-      ++m.local_hits;
+      sh.add(ids_.local_hits);
     } else {
-      ++m.routed_hits;
-      m.isl_bytes += r.size;
+      sh.add(ids_.routed_hits);
+      sh.add(ids_.isl_bytes, r.size);
     }
     note_sat(vs, serving_idx, r, true);
     if (config_.sample_latency) {
-      m.latency_ms.add(route.value() > 0.0
-                           ? latency_.hit_routed(gsl, route).value()
-                           : latency_.hit_local(gsl).value());
+      sample(route.value() > 0.0 ? latency_.hit_routed(gsl, route).value()
+                                 : latency_.hit_local(gsl).value());
     }
     return;
   }
@@ -293,14 +468,14 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
     // Table 3 accounting: what was available among the neighbours when the
     // owner missed.
     if (west_has && east_has) {
-      ++m.relay.both_requests;
-      m.relay.both_bytes += r.size;
+      sh.add(ids_.relay_both_requests);
+      sh.add(ids_.relay_both_bytes, r.size);
     } else if (west_has) {
-      ++m.relay.west_only_requests;
-      m.relay.west_only_bytes += r.size;
+      sh.add(ids_.relay_west_only_requests);
+      sh.add(ids_.relay_west_only_bytes, r.size);
     } else if (east_has) {
-      ++m.relay.east_only_requests;
-      m.relay.east_only_bytes += r.size;
+      sh.add(ids_.relay_east_only_requests);
+      sh.add(ids_.relay_east_only_bytes, r.size);
     }
 
     if (west_has || east_has) {
@@ -310,29 +485,29 @@ void Simulator::process(VariantState& vs, const trace::Request& r,
       replica_cache.touch(r.object);  // serving refreshes the replica's state
       serving_cache.admit(r.object, r.size);  // backflow: owner caches it
       if (west_has) {
-        ++m.relay_west_hits;
+        sh.add(ids_.relay_west_hits);
       } else {
-        ++m.relay_east_hits;
+        sh.add(ids_.relay_east_hits);
       }
-      m.bytes_hit += r.size;
-      m.isl_bytes += r.size;
+      sh.add(ids_.bytes_hit, r.size);
+      sh.add(ids_.isl_bytes, r.size);
       if (config_.sample_latency) {
         const util::Millis relay =
             static_cast<double>(relay_hops) *
             latency_.params().inter_orbit_hop;
-        m.latency_ms.add(latency_.hit_relayed(gsl, route, relay).value());
+        sample(latency_.hit_relayed(gsl, route, relay).value());
       }
       return;
     }
   }
 
   // --- Total miss: fetch from the ground (uplink spend) --------------------
-  ++m.misses;
-  m.uplink_bytes += r.size;
+  sh.add(ids_.misses);
+  sh.add(ids_.uplink_bytes, r.size);
   m.uplink_meter.add(serving_idx, real_epoch, r.size);
   serving_cache.admit(r.object, r.size);
   if (config_.sample_latency) {
-    m.latency_ms.add(
+    sample(
         latency_.miss(gsl, route, latency_.params().default_gsl, vs.rng)
             .value());
   }

@@ -21,6 +21,9 @@
 // architecture differs.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <vector>
@@ -29,7 +32,11 @@
 #include "core/bucket_mapper.h"
 #include "core/failure.h"
 #include "core/metrics.h"
+#include "core/run_report.h"
+#include "core/variant.h"
 #include "net/latency_model.h"
+#include "obs/registry.h"
+#include "obs/series.h"
 #include "orbit/constellation.h"
 #include "sched/scheduler.h"
 #include "trace/record.h"
@@ -37,17 +44,6 @@
 #include "util/units.h"
 
 namespace starcdn::core {
-
-enum class Variant : std::uint8_t {
-  kStatic,
-  kVanillaLru,
-  kHashOnly,
-  kRelayOnly,
-  kStarCdn,
-  kPrefetch,
-};
-
-[[nodiscard]] const char* to_string(Variant v) noexcept;
 
 struct SimConfig {
   cache::Policy policy = cache::Policy::kLru;
@@ -70,16 +66,116 @@ struct SimConfig {
   double transient_down_prob = 0.0;
   util::Seconds transient_window{300.0};
   std::uint64_t seed = 1234;
+  /// Reservoir size of the per-variant latency QuantileSampler (Fig. 10).
+  /// Trade-off: memory is 8 bytes * reservoir * variants and quantile
+  /// queries sort the reservoir, while quantile *accuracy* falls off as
+  /// the reservoir shrinks relative to the replayed request count (at the
+  /// default 200k samples the p50/p95 sampling error on a day-long trace
+  /// is well under the figures' line width; 0 keeps every sample).
+  std::size_t latency_reservoir = kDefaultLatencyReservoir;
+  /// Record per-epoch counter snapshots (RunReport time-series). One
+  /// integer compare per request, one row per 15 s epoch — on by default.
+  bool record_epoch_series = true;
+  /// Variants registered by the Simulator constructor (add_variant can
+  /// still add more afterwards). Populated by Builder::variants().
+  std::vector<Variant> variants;
+
+  /// Throws std::invalid_argument on out-of-range fields (also run by the
+  /// Simulator constructor, so hand-rolled brace-init configs are checked
+  /// too).
+  void validate() const;
+
+  class Builder;
+};
+
+/// Fluent, validating construction for SimConfig:
+///
+///   auto cfg = SimConfig::Builder{}
+///                  .policy(cache::Policy::kS3Fifo)
+///                  .cache_capacity(util::gib(40))
+///                  .buckets(9)
+///                  .variants({Variant::kStarCdn, Variant::kVanillaLru})
+///                  .build();
+///
+/// build() rejects inconsistent settings that a brace-init SimConfig would
+/// silently accept — e.g. tuning prefetch_objects_per_epoch without
+/// registering Variant::kPrefetch, or a bucket count that is not a perfect
+/// square — and runs SimConfig::validate().
+class SimConfig::Builder {
+ public:
+  Builder& policy(cache::Policy p) { cfg_.policy = p; return *this; }
+  Builder& cache_capacity(util::Bytes b) {
+    cfg_.cache_capacity = b;
+    return *this;
+  }
+  Builder& mean_object_size_hint(util::Bytes b) {
+    cfg_.mean_object_size_hint = b;
+    return *this;
+  }
+  Builder& buckets(int l) { cfg_.buckets = l; return *this; }
+  Builder& relay_east(bool on) { cfg_.relay_east = on; return *this; }
+  Builder& sample_latency(bool on) {
+    cfg_.sample_latency = on;
+    return *this;
+  }
+  Builder& track_per_satellite(bool on) {
+    cfg_.track_per_satellite = on;
+    return *this;
+  }
+  Builder& prefetch_objects_per_epoch(int n) {
+    cfg_.prefetch_objects_per_epoch = n;
+    prefetch_set_ = true;
+    return *this;
+  }
+  Builder& transient_failures(double prob, util::Seconds window) {
+    cfg_.transient_down_prob = prob;
+    cfg_.transient_window = window;
+    return *this;
+  }
+  Builder& seed(std::uint64_t s) { cfg_.seed = s; return *this; }
+  Builder& latency_reservoir(std::size_t n) {
+    cfg_.latency_reservoir = n;
+    return *this;
+  }
+  Builder& record_epoch_series(bool on) {
+    cfg_.record_epoch_series = on;
+    return *this;
+  }
+  Builder& variant(Variant v) {
+    cfg_.variants.push_back(v);
+    return *this;
+  }
+  Builder& variants(std::initializer_list<Variant> vs) {
+    // Element-wise rather than range insert: gcc 12's -Wstringop-overflow
+    // misfires on the memmove of byte-sized enums from an initializer_list.
+    cfg_.variants.reserve(cfg_.variants.size() + vs.size());
+    for (const Variant v : vs) cfg_.variants.push_back(v);
+    return *this;
+  }
+
+  /// Cross-field checks + SimConfig::validate(); throws
+  /// std::invalid_argument with a field-naming message on failure.
+  [[nodiscard]] SimConfig build() const;
+
+ private:
+  SimConfig cfg_;
+  bool prefetch_set_ = false;
 };
 
 class Simulator {
  public:
+  /// Validates `config` (SimConfig::validate) and registers
+  /// config.variants. Throws std::invalid_argument on a bad config.
   Simulator(const orbit::Constellation& constellation,
             const sched::LinkSchedule& schedule, SimConfig config,
             net::LatencyModelParams latency_params = {});
 
   /// Register a variant before run(); duplicate registration is a no-op.
   void add_variant(Variant v);
+
+  /// Register a sink to be fed the RunReport from finish(). Not owned; the
+  /// sink must outlive the simulator. Sinks fire in registration order.
+  void add_sink(MetricsSink& sink);
 
   /// Replay requests (must be time-ordered, e.g. trace::merge_by_time).
   /// May be called repeatedly to stream a long trace in chunks.
@@ -90,7 +186,21 @@ class Simulator {
   /// resulting metrics are bitwise identical for any thread count.
   void run(const std::vector<trace::Request>& requests);
 
+  /// Close the run: seals each variant's epoch series, merges the
+  /// per-variant shards (registration order — deterministic), collects
+  /// the hot-path profile, feeds every registered sink, and returns the
+  /// self-contained RunReport. May be called repeatedly; each call
+  /// re-snapshots (and re-feeds the sinks with) the current totals.
+  RunReport finish();
+
   [[nodiscard]] const VariantMetrics& metrics(Variant v) const;
+  /// The metric schema backing this simulator's counters.
+  [[nodiscard]] const obs::Registry& registry() const noexcept {
+    return registry_;
+  }
+  /// A variant's raw counter shard (the source VariantMetrics is synced
+  /// from); throws std::out_of_range when unregistered.
+  [[nodiscard]] const obs::Shard& shard(Variant v) const;
   [[nodiscard]] const BucketMapper& mapper() const noexcept { return mapper_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
 
@@ -107,6 +217,8 @@ class Simulator {
   struct VariantState {
     Variant variant;
     VariantMetrics metrics;
+    obs::Shard shard;        // counter storage; metrics syncs from this
+    obs::EpochSeries series; // per-epoch snapshots of the shard
     std::vector<std::unique_ptr<cache::Cache>> caches;  // per satellite slot
     std::vector<std::uint32_t> prefetch_epoch;          // kPrefetch bookkeeping
     TransientFailureModel transient{0.0};  // same outage schedule per variant
@@ -128,7 +240,10 @@ class Simulator {
   SimConfig config_;
   BucketMapper mapper_;
   net::LatencyModel latency_;
+  obs::Registry registry_;  // declared before variants_: shards index it
+  CoreMetricIds ids_;
   std::vector<VariantState> variants_;
+  std::vector<MetricsSink*> sinks_;
 };
 
 }  // namespace starcdn::core

@@ -1,0 +1,23 @@
+// Architecture variants the simulator can replay (see simulator.h for the
+// full taxonomy and the paper sections each variant reproduces). Split out
+// of simulator.h so report/sink code (run_report.h) can name variants
+// without pulling in the whole simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace starcdn::core {
+
+enum class Variant : std::uint8_t {
+  kStatic,
+  kVanillaLru,
+  kHashOnly,
+  kRelayOnly,
+  kStarCdn,
+  kPrefetch,
+};
+
+/// Paper-facing display name ("StarCDN", "StarCDN-Fetch", ...).
+[[nodiscard]] const char* to_string(Variant v) noexcept;
+
+}  // namespace starcdn::core

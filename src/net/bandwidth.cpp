@@ -1,5 +1,7 @@
 #include "net/bandwidth.h"
 
+#include "obs/prof.h"
+
 namespace starcdn::net {
 
 void UplinkMeter::add(util::SatId sat, util::EpochIdx epoch,
@@ -13,6 +15,7 @@ void UplinkMeter::add(util::SatId sat, util::EpochIdx epoch,
 }
 
 void UplinkMeter::flush() {
+  STARCDN_PROF_SCOPE("UplinkMeter::flush");
   for (const auto& [sat, bytes] : epoch_bytes_) {
     (void)sat;
     const double cell_gbps =

@@ -1,0 +1,167 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+namespace starcdn::obs {
+
+namespace {
+
+struct Slot {
+  std::uint64_t calls = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t max_ns = 0;
+};
+
+/// One thread's scope table. Keyed by the literal's address (fast); merged
+/// by string value at report time so identical names from different TUs
+/// fold together.
+struct ThreadTable {
+  std::vector<std::pair<const char*, Slot>> slots;
+
+  Slot& slot(const char* name) {
+    for (auto& [k, v] : slots) {
+      if (k == name) return v;
+    }
+    slots.emplace_back(name, Slot{});
+    return slots.back().second;
+  }
+};
+
+struct ProfState {
+  std::mutex mu;
+  std::deque<ThreadTable> tables;  // deque: stable addresses for TLS refs
+};
+
+ProfState& state() {
+  static ProfState s;
+  return s;
+}
+
+ThreadTable& local_table() {
+  thread_local ThreadTable* table = [] {
+    ProfState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.tables.emplace_back();
+    return &s.tables.back();
+  }();
+  return *table;
+}
+
+bool env_default() noexcept {
+  const char* v = std::getenv("STARCDN_PROF");
+  if (v == nullptr || *v == '\0') return true;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0;
+}
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{env_default()};
+  return flag;
+}
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool prof_compiled() noexcept {
+#if defined(STARCDN_PROF) && STARCDN_PROF
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool prof_enabled() noexcept {
+  return prof_compiled() && enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_prof_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+ProfScope::ProfScope(const char* name) noexcept
+    : name_(enabled_flag().load(std::memory_order_relaxed) ? name : nullptr),
+      start_ns_(name_ != nullptr ? now_ns() : 0) {}
+
+ProfScope::~ProfScope() {
+  if (name_ == nullptr) return;
+  const std::int64_t dt = now_ns() - start_ns_;
+  Slot& s = local_table().slot(name_);
+  ++s.calls;
+  s.total_ns += dt;
+  s.max_ns = std::max(s.max_ns, dt);
+}
+
+ProfileReport profile_report() {
+  ProfileReport report;
+  report.compiled = prof_compiled();
+  report.enabled = prof_enabled();
+  std::map<std::string, ProfileEntry> merged;  // name-sorted
+  {
+    ProfState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    for (const ThreadTable& t : s.tables) {
+      for (const auto& [name, slot] : t.slots) {
+        ProfileEntry& e = merged[name];
+        e.name = name;
+        e.calls += slot.calls;
+        e.total_ms += static_cast<double>(slot.total_ns) / 1e6;
+        e.max_ms =
+            std::max(e.max_ms, static_cast<double>(slot.max_ns) / 1e6);
+      }
+    }
+  }
+  report.entries.reserve(merged.size());
+  for (auto& [name, entry] : merged) report.entries.push_back(entry);
+  return report;
+}
+
+void profile_reset() {
+  ProfState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  for (ThreadTable& t : s.tables) t.slots.clear();
+}
+
+void ProfileReport::print(std::ostream& os) const {
+  if (!compiled) {
+    os << "profile: compiled out (configure with -DSTARCDN_PROF=ON)\n";
+    return;
+  }
+  if (entries.empty()) {
+    os << "profile: no scopes recorded"
+       << (enabled ? "" : " (disabled via STARCDN_PROF=0)") << '\n';
+    return;
+  }
+  std::vector<ProfileEntry> by_total = entries;
+  std::sort(by_total.begin(), by_total.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+              return a.name < b.name;
+            });
+  os << "profile (hot paths, wall clock):\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-36s %10s %12s %10s %10s\n", "scope",
+                "calls", "total ms", "mean ms", "max ms");
+  os << line;
+  for (const auto& e : by_total) {
+    std::snprintf(line, sizeof(line),
+                  "  %-36s %10llu %12.3f %10.4f %10.3f\n", e.name.c_str(),
+                  static_cast<unsigned long long>(e.calls), e.total_ms,
+                  e.mean_ms(), e.max_ms);
+    os << line;
+  }
+}
+
+}  // namespace starcdn::obs

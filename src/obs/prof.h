@@ -1,0 +1,91 @@
+// Scoped hot-path profiling timers (DESIGN.md §11).
+//
+// STARCDN_PROF_SCOPE("name") opens a wall-clock scope recorded into a
+// thread-local table and aggregated across threads into a per-run
+// ProfileReport (calls / total / mean / max per scope, merged by name in
+// sorted order, so the report shape is deterministic even though the
+// timings are not).
+//
+// Zero overhead when off, at two levels:
+//   * compile-time: the macro expands to `(void)0` unless the build sets
+//     -DSTARCDN_PROF=1 (CMake option STARCDN_PROF). The default build
+//     therefore carries no timers at all — bitwise-identical binaries on
+//     the hot path.
+//   * runtime: when compiled in, scopes check one relaxed atomic flag,
+//     controlled by the STARCDN_PROF environment variable (default on;
+//     set STARCDN_PROF=0 to disable) or set_prof_enabled().
+//
+// Timers observe only the clock — they never touch RNG streams, metrics
+// or any simulation state, so results are bitwise identical with
+// profiling on, off, or compiled out (asserted by tests/test_obs.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace starcdn::obs {
+
+struct ProfileEntry {
+  std::string name;
+  std::uint64_t calls = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+
+  [[nodiscard]] double mean_ms() const noexcept {
+    return calls != 0 ? total_ms / static_cast<double>(calls) : 0.0;
+  }
+};
+
+struct ProfileReport {
+  bool compiled = false;  ///< build carries timers (STARCDN_PROF=1)
+  bool enabled = false;   ///< timers were active at report time
+  std::vector<ProfileEntry> entries;  ///< merged by name, name-sorted
+
+  /// Aligned hot-path table, sorted by total time descending. Prints a
+  /// one-line notice instead when profiling is compiled out.
+  void print(std::ostream& os) const;
+};
+
+/// True when the build carries timers.
+[[nodiscard]] bool prof_compiled() noexcept;
+/// True when timers are compiled in and currently enabled.
+[[nodiscard]] bool prof_enabled() noexcept;
+/// Override the STARCDN_PROF environment default (tests, benches).
+void set_prof_enabled(bool on) noexcept;
+
+/// Merge every thread's table into one deterministic-shape report.
+[[nodiscard]] ProfileReport profile_report();
+/// Zero all per-thread tables (between bench repetitions).
+void profile_reset();
+
+/// RAII scope; prefer the STARCDN_PROF_SCOPE macro, which compiles this
+/// out entirely in default builds. `name` must outlive the process
+/// (string literals only).
+class ProfScope {
+ public:
+  explicit ProfScope(const char* name) noexcept;
+  ~ProfScope();
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace starcdn::obs
+
+#define STARCDN_PROF_CONCAT_IMPL(a, b) a##b
+#define STARCDN_PROF_CONCAT(a, b) STARCDN_PROF_CONCAT_IMPL(a, b)
+
+#if defined(STARCDN_PROF) && STARCDN_PROF
+#define STARCDN_PROF_SCOPE(name)                    \
+  const ::starcdn::obs::ProfScope STARCDN_PROF_CONCAT(starcdn_prof_scope_, \
+                                                      __LINE__) {          \
+    name                                                                   \
+  }
+#else
+#define STARCDN_PROF_SCOPE(name) static_cast<void>(0)
+#endif

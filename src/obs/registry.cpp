@@ -1,0 +1,234 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace starcdn::obs {
+
+const char* to_string(Kind k) noexcept {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const MetricDesc* Registry::lookup(const std::string& name, Kind kind) const {
+  for (const auto& d : descriptors_) {
+    if (d.name != name) continue;
+    if (d.kind != kind) {
+      throw std::invalid_argument("obs::Registry: metric '" + name +
+                                  "' already registered as " +
+                                  to_string(d.kind));
+    }
+    return &d;
+  }
+  return nullptr;
+}
+
+CounterId Registry::counter(std::string name, std::string help,
+                            std::string unit) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (const auto* d = lookup(name, Kind::kCounter)) return {d->slot};
+  MetricDesc d;
+  d.name = std::move(name);
+  d.help = std::move(help);
+  d.unit = std::move(unit);
+  d.kind = Kind::kCounter;
+  d.slot = n_counters_++;
+  descriptors_.push_back(std::move(d));
+  return {descriptors_.back().slot};
+}
+
+GaugeId Registry::gauge(std::string name, std::string help,
+                        std::string unit) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (const auto* d = lookup(name, Kind::kGauge)) return {d->slot};
+  MetricDesc d;
+  d.name = std::move(name);
+  d.help = std::move(help);
+  d.unit = std::move(unit);
+  d.kind = Kind::kGauge;
+  d.slot = n_gauges_++;
+  descriptors_.push_back(std::move(d));
+  return {descriptors_.back().slot};
+}
+
+HistogramId Registry::histogram(std::string name, std::string help,
+                                std::vector<double> bounds,
+                                std::string unit) {
+  if (!std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::invalid_argument(
+        "obs::Registry: histogram bounds must be ascending");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (const auto* d = lookup(name, Kind::kHistogram)) return {d->slot};
+  MetricDesc d;
+  d.name = std::move(name);
+  d.help = std::move(help);
+  d.unit = std::move(unit);
+  d.kind = Kind::kHistogram;
+  d.slot = n_histograms_++;
+  d.bounds = std::move(bounds);
+  descriptors_.push_back(std::move(d));
+  return {descriptors_.back().slot};
+}
+
+std::optional<MetricDesc> Registry::find(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& d : descriptors_) {
+    if (d.name == name) return d;
+  }
+  return std::nullopt;
+}
+
+const std::string& Registry::name_of(CounterId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& d : descriptors_) {
+    if (d.kind == Kind::kCounter && d.slot == id.index) return d.name;
+  }
+  throw std::out_of_range("obs::Registry::name_of: unknown counter handle");
+}
+
+Shard::Shard(const Registry& registry) {
+  counters_.assign(registry.counters(), 0);
+  gauges_.assign(registry.gauges(), 0.0);
+  gauge_set_.assign(registry.gauges(), 0);
+  histograms_.resize(registry.histograms());
+  bounds_.resize(registry.histograms());
+  for (const auto& d : registry.descriptors()) {
+    if (d.kind != Kind::kHistogram) continue;
+    histograms_[d.slot].counts.assign(d.bounds.size() + 1, 0);
+    // Bounds are copied per slot so a Shard outlives its Registry safely.
+    bounds_[d.slot] = d.bounds;
+  }
+}
+
+void Shard::observe(HistogramId h, double x) noexcept {
+  assert(h.index < histograms_.size());
+  HistogramCells& cells = histograms_[h.index];
+  const std::vector<double>& bounds = bounds_[h.index];
+  std::size_t b = 0;
+  while (b < bounds.size() && x > bounds[b]) ++b;
+  ++cells.counts[b];
+  ++cells.count;
+  cells.sum += x;
+}
+
+void Shard::merge_from(const Shard& other) {
+  if (other.counters_.size() != counters_.size() ||
+      other.gauges_.size() != gauges_.size() ||
+      other.histograms_.size() != histograms_.size()) {
+    throw std::invalid_argument("obs::Shard::merge_from: schema mismatch");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (other.gauge_set_[i] != 0) {
+      gauges_[i] = other.gauges_[i];
+      gauge_set_[i] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    HistogramCells& mine = histograms_[i];
+    const HistogramCells& theirs = other.histograms_[i];
+    for (std::size_t b = 0; b < mine.counts.size(); ++b) {
+      mine.counts[b] += theirs.counts[b];
+    }
+    mine.count += theirs.count;
+    mine.sum += theirs.sum;
+  }
+}
+
+Shard merge(const Registry& registry, const std::vector<const Shard*>& shards) {
+  Shard out(registry);
+  for (const Shard* s : shards) {
+    if (s != nullptr) out.merge_from(*s);
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_csv(const Registry& registry, const Shard& shard,
+               std::ostream& os) {
+  os << "name,kind,unit,value\n";
+  for (const auto& d : registry.descriptors()) {
+    switch (d.kind) {
+      case Kind::kCounter:
+        os << d.name << ",counter," << d.unit << ','
+           << shard.value(CounterId{d.slot}) << '\n';
+        break;
+      case Kind::kGauge:
+        os << d.name << ",gauge," << d.unit << ','
+           << shard.value(GaugeId{d.slot}) << '\n';
+        break;
+      case Kind::kHistogram: {
+        const HistogramCells& cells = shard.cells(HistogramId{d.slot});
+        os << d.name << "_count,histogram," << d.unit << ',' << cells.count
+           << '\n';
+        os << d.name << "_sum,histogram," << d.unit << ',' << cells.sum
+           << '\n';
+        for (std::size_t b = 0; b < cells.counts.size(); ++b) {
+          os << d.name << "_bucket_le_";
+          if (b < d.bounds.size()) {
+            os << d.bounds[b];
+          } else {
+            os << "inf";
+          }
+          os << ",histogram," << d.unit << ',' << cells.counts[b] << '\n';
+        }
+        break;
+      }
+    }
+  }
+}
+
+void write_json(const Registry& registry, const Shard& shard,
+                std::ostream& os) {
+  os << '{';
+  bool first = true;
+  for (const auto& d : registry.descriptors()) {
+    if (!first) os << ',';
+    first = false;
+    append_json_string(os, d.name);
+    os << ':';
+    switch (d.kind) {
+      case Kind::kCounter: os << shard.value(CounterId{d.slot}); break;
+      case Kind::kGauge: os << shard.value(GaugeId{d.slot}); break;
+      case Kind::kHistogram: {
+        const HistogramCells& cells = shard.cells(HistogramId{d.slot});
+        os << "{\"count\":" << cells.count << ",\"sum\":" << cells.sum
+           << ",\"buckets\":[";
+        for (std::size_t b = 0; b < cells.counts.size(); ++b) {
+          if (b != 0) os << ',';
+          os << cells.counts[b];
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << '}';
+}
+
+}  // namespace starcdn::obs

@@ -1,0 +1,97 @@
+#include "obs/series.h"
+
+#include <limits>
+#include <ostream>
+
+namespace starcdn::obs {
+
+std::size_t SeriesTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return i;
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+void SeriesTable::write_csv(std::ostream& os,
+                            const std::vector<Derived>& derived) const {
+  os << "epoch,t_end_s";
+  for (const auto& c : columns) os << ',' << c;
+  for (const auto& d : derived) os << ',' << d.name;
+  os << '\n';
+  const std::streamsize prev = os.precision(6);
+  const auto flags = os.flags();
+  os.setf(std::ios::fixed, std::ios::floatfield);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    os << epochs[r] << ','
+       << static_cast<double>(epochs[r] + 1) * epoch_seconds;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      os << ',' << delta(r, c);
+    }
+    for (const auto& d : derived) {
+      os << ',' << d.fn(*this, r);
+    }
+    os << '\n';
+  }
+  os.precision(prev);
+  os.flags(flags);
+}
+
+void SeriesTable::write_json(std::ostream& os) const {
+  os << "{\"epoch_seconds\":" << epoch_seconds << ",\"columns\":[";
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c != 0) os << ',';
+    os << '"' << columns[c] << '"';
+  }
+  os << "],\"epochs\":[";
+  for (std::size_t r = 0; r < rows(); ++r) {
+    if (r != 0) os << ',';
+    os << epochs[r];
+  }
+  os << "],\"deltas\":[";
+  for (std::size_t r = 0; r < rows(); ++r) {
+    if (r != 0) os << ',';
+    os << '[';
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c != 0) os << ',';
+      os << delta(r, c);
+    }
+    os << ']';
+  }
+  os << "]}";
+}
+
+EpochSeries::EpochSeries(const Registry* registry,
+                         std::vector<CounterId> columns)
+    : registry_(registry), columns_(std::move(columns)) {}
+
+void EpochSeries::snapshot_row(std::uint64_t epoch, const Shard& shard) {
+  epochs_.push_back(epoch);
+  for (const CounterId c : columns_) values_.push_back(shard.value(c));
+}
+
+void EpochSeries::advance_slow(std::uint64_t epoch, const Shard& shard) {
+  if (registry_ == nullptr || finished_) return;
+  while (next_epoch_ < epoch) {
+    snapshot_row(next_epoch_, shard);
+    ++next_epoch_;
+  }
+}
+
+void EpochSeries::finish(const Shard& shard) {
+  if (registry_ == nullptr || finished_) return;
+  snapshot_row(next_epoch_, shard);
+  finished_ = true;
+}
+
+SeriesTable EpochSeries::table(double epoch_seconds) const {
+  SeriesTable t;
+  t.epoch_seconds = epoch_seconds;
+  if (registry_ == nullptr) return t;
+  t.columns.reserve(columns_.size());
+  for (const CounterId c : columns_) t.columns.push_back(registry_->name_of(c));
+  t.epochs = epochs_;
+  t.values = values_;
+  return t;
+}
+
+}  // namespace starcdn::obs

@@ -1,0 +1,99 @@
+// Per-epoch time series of registry counters (DESIGN.md §11).
+//
+// The simulator's dynamics — hit-rate dips when the constellation drifts
+// over an ocean, uplink saturation at a regional prime time, handover
+// storms at epoch boundaries — are invisible in end-of-run totals. An
+// EpochSeries snapshots a chosen set of Registry counters at every
+// scheduler-epoch boundary (15 s by default), cumulatively; deltas and
+// derived rates are computed at export time. Recording is a single
+// integer compare per request plus one row copy per epoch crossed, so it
+// stays on by default.
+//
+// The recorder itself is single-owner (one per simulator variant, advanced
+// in trace order on that variant's worker), which makes the rows bitwise
+// identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace starcdn::obs {
+
+/// A materialized, self-contained series: column names + cumulative
+/// counter values per epoch row. This is what travels inside a RunReport
+/// after the simulator (and its Registry) are gone.
+struct SeriesTable {
+  std::vector<std::string> columns;
+  double epoch_seconds = 15.0;
+  std::vector<std::uint64_t> epochs;  ///< epoch index per row (ascending)
+  std::vector<std::uint64_t> values;  ///< row-major, cumulative
+
+  [[nodiscard]] std::size_t rows() const noexcept { return epochs.size(); }
+  [[nodiscard]] std::uint64_t at(std::size_t row, std::size_t col) const {
+    return values[row * columns.size() + col];
+  }
+  /// Per-epoch increment: row's cumulative value minus the previous row's.
+  [[nodiscard]] std::uint64_t delta(std::size_t row, std::size_t col) const {
+    const std::uint64_t cur = at(row, col);
+    return row == 0 ? cur : cur - at(row - 1, col);
+  }
+  /// Column index by name; npos when absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+
+  /// Extra export column computed from one row's deltas.
+  struct Derived {
+    std::string name;
+    std::function<double(const SeriesTable&, std::size_t row)> fn;
+  };
+
+  /// CSV: epoch,t_end_s,<per-column deltas>[,<derived>...]. Deterministic
+  /// for a deterministic recording.
+  void write_csv(std::ostream& os,
+                 const std::vector<Derived>& derived = {}) const;
+  /// JSON object: {"epoch_seconds":..,"columns":[..],"epochs":[..],
+  /// "deltas":[[..row..],..]}.
+  void write_json(std::ostream& os) const;
+};
+
+/// Incremental recorder bound to a Registry + one Shard stream.
+class EpochSeries {
+ public:
+  EpochSeries() = default;
+  EpochSeries(const Registry* registry, std::vector<CounterId> columns);
+
+  /// Snapshot every epoch boundary crossed on the way to `epoch`. Call
+  /// *before* processing the first request of `epoch`; calls with
+  /// equal/smaller epochs are no-ops, so this sits on the per-request
+  /// path as one compare.
+  void advance_to(std::uint64_t epoch, const Shard& shard) {
+    if (epoch <= next_epoch_) return;
+    advance_slow(epoch, shard);
+  }
+
+  /// Close the final (possibly partial) epoch. Idempotent.
+  void finish(const Shard& shard);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return epochs_.size(); }
+  [[nodiscard]] bool enabled() const noexcept { return registry_ != nullptr; }
+
+  /// Materialize into a self-contained table (column names resolved).
+  [[nodiscard]] SeriesTable table(double epoch_seconds) const;
+
+ private:
+  void advance_slow(std::uint64_t epoch, const Shard& shard);
+  void snapshot_row(std::uint64_t epoch, const Shard& shard);
+
+  const Registry* registry_ = nullptr;
+  std::vector<CounterId> columns_;
+  std::vector<std::uint64_t> epochs_;
+  std::vector<std::uint64_t> values_;  // row-major cumulative
+  std::uint64_t next_epoch_ = 0;       // first epoch not yet closed
+  bool finished_ = false;
+};
+
+}  // namespace starcdn::obs

@@ -6,6 +6,8 @@
 
 #include "core/bucket_mapper.h"
 #include "net/transport.h"
+#include "obs/prof.h"
+#include "obs/tracer.h"
 #include "util/hash.h"
 #include "util/ids.h"
 
@@ -137,8 +139,17 @@ ReplayReport replay_cluster(const orbit::Constellation& constellation,
                             const sched::LinkSchedule& schedule,
                             const std::vector<trace::Request>& requests,
                             const ReplayConfig& config) {
+  STARCDN_PROF_SCOPE("replay_cluster");
+  const obs::TraceSpan span(
+      obs::tracer(), "replay_cluster", "replay",
+      {obs::arg("requests", static_cast<std::uint64_t>(requests.size())),
+       obs::arg("nodes", static_cast<std::int64_t>(constellation.size()))});
   const core::BucketMapper mapper(constellation, config.buckets);
-  Cluster cluster = spawn_cluster(constellation.size(), config);
+  Cluster cluster = [&] {
+    STARCDN_PROF_SCOPE("replay_cluster::spawn");
+    const obs::TraceSpan spawn_span(obs::tracer(), "spawn_cluster", "replay");
+    return spawn_cluster(constellation.size(), config);
+  }();
 
   ReplayReport report;
   std::uint64_t request_counter = 0;
@@ -212,6 +223,8 @@ ReplayReport replay_cluster(const orbit::Constellation& constellation,
   }
 
   // Graceful shutdown so worker caches drain deterministically.
+  STARCDN_PROF_SCOPE("replay_cluster::shutdown");
+  const obs::TraceSpan bye_span(obs::tracer(), "cluster_shutdown", "replay");
   for (auto& ch : cluster.channels) {
     Message bye;
     bye.type = MessageType::kControl;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/prof.h"
+#include "obs/tracer.h"
 #include "util/hash.h"
 #include "util/parallel.h"
 #include "util/units.h"
@@ -14,8 +16,13 @@ LinkSchedule::LinkSchedule(const orbit::Constellation& constellation,
                            util::Seconds duration,
                            const SchedulerParams& params)
     : params_(params), n_cities_(cities.size()) {
+  STARCDN_PROF_SCOPE("LinkSchedule::build");
   epochs_ = static_cast<std::size_t>(
       std::max(1.0, std::ceil(duration / params.epoch)));
+  const obs::TraceSpan span(
+      obs::tracer(), "LinkSchedule::build", "sched",
+      {obs::arg("epochs", static_cast<std::uint64_t>(epochs_)),
+       obs::arg("cities", static_cast<std::uint64_t>(n_cities_))});
   table_.resize(epochs_ * n_cities_);
   const orbit::VisibilityOracle oracle(params.min_elevation);
   // City ECEF points are epoch-invariant: convert once instead of inside
