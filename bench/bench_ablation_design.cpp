@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
     auto sim = std::make_unique<core::Simulator>(*scenario.shell,
                                                  *scenario.schedule, cfg);
     for (const auto v : variants) sim->add_variant(v);
-    sim->run(scenario.requests);
+    scenario.replay_into(*sim);
     return sim;
   };
 

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <initializer_list>
 #include <iostream>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "sched/scheduler.h"
 #include "trace/workload.h"
 #include "util/geo.h"
+#include "util/mem.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -62,9 +64,16 @@ inline void banner(const std::string& what, const std::string& paper_ref) {
 /// the paper's nine cities, the 72x18 Starlink shell, a one-day video
 /// trace, and a 15-second link schedule. Heavyweight members are built
 /// once and reused across capacity sweeps.
+///
+/// With `chunk == 0` the whole trace is materialized into `requests`
+/// (legacy mode). With `chunk > 0` nothing is materialized: replays pull
+/// chunked blocks from `workload->generate_stream()` and trace memory
+/// stays O(chunk) regardless of --scale.
 struct VideoScenario {
   explicit VideoScenario(util::Seconds duration = util::kDay,
-                         double scale = 1.0, std::uint64_t seed = 0) {
+                         double scale = 1.0, std::uint64_t seed = 0,
+                         std::size_t chunk = 0)
+      : stream_chunk(chunk) {
     params = trace::default_params(trace::TrafficClass::kVideo);
     params.duration_s = duration.value();
     params.requests_per_weight = static_cast<std::size_t>(
@@ -72,13 +81,22 @@ struct VideoScenario {
     if (seed != 0) params.seed = seed;
     workload = std::make_unique<trace::WorkloadModel>(util::paper_cities(),
                                                       params);
-    requests = trace::merge_by_time(workload->generate());
+    if (stream_chunk == 0) requests = trace::merge_by_time(workload->generate());
     shell = std::make_unique<orbit::Constellation>(orbit::WalkerParams{});
     schedule = std::make_unique<sched::LinkSchedule>(
         *shell, util::paper_cities(), duration);
-    std::printf("scenario: %zu requests / %.1f TB over %zu cities, %zu epochs\n",
-                requests.size(), total_bytes() / 1e12,
-                util::paper_cities().size(), schedule->epochs());
+    if (stream_chunk == 0) {
+      std::printf(
+          "scenario: %zu requests / %.1f TB over %zu cities, %zu epochs\n",
+          requests.size(), total_bytes() / 1e12, util::paper_cities().size(),
+          schedule->epochs());
+    } else {
+      std::printf(
+          "scenario: %llu requests (streamed, chunk=%zu) over %zu cities, "
+          "%zu epochs\n",
+          static_cast<unsigned long long>(workload->total_request_count()),
+          stream_chunk, util::paper_cities().size(), schedule->epochs());
+    }
   }
 
   [[nodiscard]] double total_bytes() const {
@@ -87,7 +105,20 @@ struct VideoScenario {
     return b;
   }
 
+  /// Replay the scenario trace into `sim` — materialized vector or
+  /// bounded-memory stream, per `stream_chunk`. Results are bitwise
+  /// identical either way (asserted by tests/test_stream.cpp).
+  void replay_into(core::Simulator& sim) const {
+    if (stream_chunk > 0) {
+      const auto stream = workload->generate_stream({stream_chunk});
+      sim.run(*stream);
+    } else {
+      sim.run(requests);
+    }
+  }
+
   trace::WorkloadParams params;
+  std::size_t stream_chunk = 0;
   std::unique_ptr<trace::WorkloadModel> workload;
   std::vector<trace::Request> requests;
   std::unique_ptr<orbit::Constellation> shell;
@@ -120,6 +151,10 @@ capacity_axis() {
 ///   --trace=FILE   record a chrome://tracing JSON timeline to FILE
 ///   --series=PFX   write per-variant epoch-series CSVs under
 ///                  DIR/PFX<tag>_<variant>.csv from simulate() calls
+///   --chunk=N      stream the scenario trace in N-request SoA blocks
+///                  instead of materializing it (bounded-memory replay)
+///   --rss-budget-mb=N  assert peak RSS <= N MB at exit (exit code 3 on
+///                  breach); an rss_report.csv lands in --out either way
 ///
 /// The Harness installs the process tracer for --trace and writes the
 /// JSON on destruction, so `Harness h(argc, argv, ...)` at the top of
@@ -134,10 +169,13 @@ class Harness {
     double scale = 1.0;
     std::string trace_path;
     std::string series_prefix;
+    std::size_t chunk = 0;       // 0 = materialized trace
+    double rss_budget_mb = 0.0;  // 0 = report only, no assertion
   };
 
   Harness(int argc, char** argv, const std::string& what,
-          const std::string& paper_ref) {
+          const std::string& paper_ref)
+      : what_(what) {
     parse(argc, argv);
     if (opts_.threads > 0) util::set_parallel_threads(opts_.threads);
     if (!opts_.trace_path.empty()) {
@@ -160,6 +198,7 @@ class Harness {
                     tracer_->events(), opts_.trace_path.c_str());
       }
     }
+    report_rss();
   }
   Harness(const Harness&) = delete;
   Harness& operator=(const Harness&) = delete;
@@ -186,7 +225,7 @@ class Harness {
               ? util::Seconds{15.0 * static_cast<double>(opts_.epochs)}
               : util::kDay;
       scenario_ = std::make_unique<VideoScenario>(duration, opts_.scale,
-                                                  opts_.seed);
+                                                  opts_.seed, opts_.chunk);
     }
     return *scenario_;
   }
@@ -216,7 +255,7 @@ class Harness {
     VideoScenario& s = scenario();
     core::Simulator sim(*s.shell, *s.schedule, std::move(cfg));
     for (const core::Variant v : variants) sim.add_variant(v);
-    sim.run(s.requests);
+    s.replay_into(sim);
     core::RunReport report = sim.finish();
     if (!opts_.series_prefix.empty()) {
       const auto paths = report.write_series_csv_files(
@@ -253,18 +292,48 @@ class Harness {
         opts_.trace_path = v;
       } else if (eat("--series", &v)) {
         opts_.series_prefix = v;
+      } else if (eat("--chunk", &v)) {
+        opts_.chunk = std::strtoull(v.c_str(), nullptr, 10);
+      } else if (eat("--rss-budget-mb", &v)) {
+        opts_.rss_budget_mb = std::atof(v.c_str());
       } else {
         std::fprintf(stderr,
                      "unknown flag %s\nusage: %s [--threads=N] [--seed=N] "
                      "[--out=DIR] [--epochs=N] [--scale=F] [--trace=FILE] "
-                     "[--series=PREFIX]\n",
+                     "[--series=PREFIX] [--chunk=N] [--rss-budget-mb=N]\n",
                      a.c_str(), argv[0]);
         std::exit(2);
       }
     }
   }
 
+  /// Print peak RSS, append it to --out/rss_report.csv, and enforce the
+  /// --rss-budget-mb ceiling (exit 3 on breach). Runs from the destructor
+  /// so every bench gets the paper-scale memory gate for free.
+  void report_rss() {
+    const std::uint64_t peak = util::peak_rss_bytes();
+    if (peak == 0) return;  // platform without RUSAGE maxrss support
+    const double peak_mb = static_cast<double>(peak) / (1024.0 * 1024.0);
+    if (opts_.rss_budget_mb > 0.0) {
+      std::printf("rss: peak=%.1f MB budget=%.1f MB chunk=%zu\n", peak_mb,
+                  opts_.rss_budget_mb, opts_.chunk);
+    } else {
+      std::printf("rss: peak=%.1f MB chunk=%zu\n", peak_mb, opts_.chunk);
+    }
+    std::ofstream report(out_path("rss_report.csv"), std::ios::app);
+    if (report) {
+      report << what_ << ',' << peak_mb << ',' << opts_.rss_budget_mb << ','
+             << opts_.chunk << '\n';
+    }
+    if (opts_.rss_budget_mb > 0.0 && peak_mb > opts_.rss_budget_mb) {
+      std::fprintf(stderr, "rss: peak %.1f MB exceeds budget %.1f MB\n",
+                   peak_mb, opts_.rss_budget_mb);
+      std::exit(3);
+    }
+  }
+
   Options opts_;
+  std::string what_;
   bool scale_set_ = false;
   std::unique_ptr<VideoScenario> scenario_;
   std::unique_ptr<obs::Tracer> tracer_;

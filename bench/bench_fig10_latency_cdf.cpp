@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     sim->add_variant(core::Variant::kStarCdn);
     sim->add_variant(core::Variant::kHashOnly);
     if (buckets == 4) sim->add_variant(core::Variant::kStatic);
-    sim->run(scenario.requests);
+    scenario.replay_into(*sim);
     const std::string l = "L" + std::to_string(buckets);
     series["StarCDN-" + l] =
         &sim->metrics(core::Variant::kStarCdn).latency_ms;

@@ -16,7 +16,12 @@ int main(int argc, char** argv) {
   util::Rng rng(2025);
   shell->knock_out_random(0.097, rng);
 
-  const bench::VideoScenario base;  // reuse the trace; rebuild the schedule
+  // Reuse the trace; rebuild the schedule against the degraded shell.
+  const auto& o = harness.opts();
+  const util::Seconds duration =
+      o.epochs != 0 ? util::Seconds{15.0 * static_cast<double>(o.epochs)}
+                    : util::kDay;
+  const bench::VideoScenario base(duration, o.scale, o.seed, o.chunk);
   const sched::LinkSchedule schedule(*shell, util::paper_cities(),
                                      util::Seconds{base.params.duration_s});
 
@@ -27,7 +32,7 @@ int main(int argc, char** argv) {
   cfg.track_per_satellite = true;
   core::Simulator sim(*shell, schedule, cfg);
   sim.add_variant(core::Variant::kStarCdn);
-  sim.run(base.requests);
+  base.replay_into(sim);
 
   const auto& m = sim.metrics(core::Variant::kStarCdn);
   const auto served = sim.buckets_served_per_satellite();

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
           cfg.sample_latency = false;
           core::Simulator sim(*scenario.shell, *scenario.schedule, cfg);
           for (const auto v : order) sim.add_variant(v);
-          sim.run(scenario.requests);
+          scenario.replay_into(sim);
 
           Rows rows{{label}, {label}};
           for (const auto v : order) {

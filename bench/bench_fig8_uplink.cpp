@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
         cfg.sample_latency = false;
         core::Simulator sim(*scenario.shell, *scenario.schedule, cfg);
         for (const auto v : order) sim.add_variant(v);
-        sim.run(scenario.requests);
+        scenario.replay_into(sim);
         std::vector<std::string> row{label};
         for (const auto v : order) {
           row.push_back(util::fmt_pct(sim.metrics(v).normalized_uplink()));
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     cfg.sample_latency = false;
     core::Simulator sim(*scenario.shell, *scenario.schedule, cfg);
     sim.add_variant(core::Variant::kStarCdn);
-    sim.run(scenario.requests);
+    scenario.replay_into(sim);
     const auto& meter = sim.metrics(core::Variant::kStarCdn).uplink_meter;
     std::printf(
         "\nGSL budget check (StarCDN): mean %.3f Gbps, peak %.3f Gbps per "

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
     cfg.sample_latency = false;
     core::Simulator sim(*scenario.shell, *scenario.schedule, cfg);
     sim.add_variant(core::Variant::kHashOnly);
-    sim.run(scenario.requests);
+    scenario.replay_into(sim);
 
     const int side = sim.mapper().tile_side();
     const int half = side / 2;

@@ -159,6 +159,72 @@ void BM_ByteStackAlgorithm1Step(benchmark::State& state) {
 }
 BENCHMARK(BM_ByteStackAlgorithm1Step)->Arg(1'000)->Arg(100'000);
 
+void BM_MergeByTime(benchmark::State& state) {
+  // Loser-tree k-way merge over the nine per-city traces. Items/s is the
+  // merged-request throughput; the tree does one O(log k) replay per item.
+  auto p = trace::default_params(trace::TrafficClass::kVideo);
+  p.object_count = 20'000;
+  p.requests_per_weight = static_cast<std::size_t>(state.range(0));
+  p.duration_s = util::kHour.value();
+  const trace::WorkloadModel workload(util::paper_cities(), p);
+  const auto traces = workload.generate();
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    const auto merged = trace::merge_by_time(traces);
+    total = merged.size();
+    benchmark::DoNotOptimize(merged.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_MergeByTime)->Arg(10'000)->Arg(50'000)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateStream(benchmark::State& state) {
+  // End-to-end streamed SpaceGEN generation: chunked SoA blocks pulled
+  // from the windowed skip-replay generator, never materializing the
+  // trace. Compare items/s against BM_GenerateMaterialized.
+  auto p = trace::default_params(trace::TrafficClass::kVideo);
+  p.object_count = 20'000;
+  p.requests_per_weight = static_cast<std::size_t>(state.range(0));
+  p.duration_s = util::kHour.value();
+  const trace::WorkloadModel workload(util::paper_cities(), p);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    const auto stream = workload.generate_stream();
+    trace::RequestBlock block;
+    total = 0;
+    while (stream->next(block)) {
+      total += block.count();
+      benchmark::DoNotOptimize(block.timestamp_s.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_GenerateStream)->Arg(10'000)->Arg(50'000)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateMaterialized(benchmark::State& state) {
+  // Baseline for BM_GenerateStream: generate() all city traces, then the
+  // loser-tree merge — the legacy materialize-everything path.
+  auto p = trace::default_params(trace::TrafficClass::kVideo);
+  p.object_count = 20'000;
+  p.requests_per_weight = static_cast<std::size_t>(state.range(0));
+  p.duration_s = util::kHour.value();
+  const trace::WorkloadModel workload(util::paper_cities(), p);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    const auto merged = trace::merge_by_time(workload.generate());
+    total = merged.size();
+    benchmark::DoNotOptimize(merged.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_GenerateMaterialized)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Splitmix(benchmark::State& state) {
   std::uint64_t x = 0;
   for (auto _ : state) {

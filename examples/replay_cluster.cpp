@@ -27,7 +27,6 @@ int main(int argc, char** argv) {
   p.requests_per_weight = 6'000;
   p.duration_s = util::kHour.value();
   const trace::WorkloadModel workload(util::paper_cities(), p);
-  const auto requests = trace::merge_by_time(workload.generate());
   const sched::LinkSchedule schedule(shell, util::paper_cities(), util::Seconds{p.duration_s});
 
   replay::ReplayConfig cfg;
@@ -36,11 +35,15 @@ int main(int argc, char** argv) {
   cfg.transport = use_tcp ? replay::TransportKind::kTcp
                           : replay::TransportKind::kInProcess;
 
-  std::printf("spawning %d cache workers over %s, replaying %zu requests...\n",
-              shell.size(), use_tcp ? "TCP loopback" : "in-process queues",
-              requests.size());
+  // Stream the trace straight from the generator: the replay never holds
+  // more than one chunk of requests in memory.
+  const auto stream = workload.generate_stream();
+  std::printf(
+      "spawning %d cache workers over %s, streaming %llu requests...\n",
+      shell.size(), use_tcp ? "TCP loopback" : "in-process queues",
+      static_cast<unsigned long long>(workload.total_request_count()));
   const auto t0 = std::chrono::steady_clock::now();
-  const auto report = replay_cluster(shell, schedule, requests, cfg);
+  const auto report = replay_cluster(shell, schedule, *stream, cfg);
   const auto elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
                            .count();

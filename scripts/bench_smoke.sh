@@ -6,7 +6,12 @@
 #      epoch time-series CSVs and the chrome://tracing JSON enabled, and
 #      sanity-checks the artifacts (CSV header, trace JSON parses and
 #      contains traceEvents).
-#   2. Builds bench_micro twice — default (profiling compiled out) and
+#   2. Runs the streamed-replay RSS gate: bench_stream_scale generates and
+#      replays the video trace in SoA chunks without materializing it and
+#      must stay under ${SMOKE_STREAM_RSS_MB:-1500} MB peak RSS. CI raises
+#      SMOKE_STREAM_SCALE to paper scale (>=100M requests); the default
+#      keeps local runs quick. The rss_report.csv lands in the artifacts.
+#   3. Builds bench_micro twice — default (profiling compiled out) and
 #      -DSTARCDN_PROF=ON — and fails if the profiled build's geometric
 #      mean slowdown across the micro benchmarks exceeds 5%.
 #
@@ -27,7 +32,7 @@ configure_and_build() {
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release "$@"
   fi
   cmake --build "$dir" -j "$(nproc)" \
-    --target bench_table3_relay_availability bench_micro
+    --target bench_table3_relay_availability bench_stream_scale bench_micro
 }
 
 echo "== build (default: profiling compiled out) =="
@@ -68,6 +73,18 @@ for expected in ("Simulator::run", "epoch"):
 print(f"trace OK: {len(events)} events, phases {sorted(phases)}")
 EOF
 echo "series CSVs OK ($series_count files)"
+
+echo "== streamed replay + RSS budget gate =="
+# Request count is duration-independent, so --epochs only trims the link
+# schedule build; --scale=60 is >=100M requests (CI's paper-scale gate).
+STREAM_SCALE=${SMOKE_STREAM_SCALE:-3}
+STREAM_RSS_MB=${SMOKE_STREAM_RSS_MB:-1500}
+"$BUILD/bench/bench_stream_scale" \
+  --scale="$STREAM_SCALE" --chunk=65536 --epochs=480 --threads=2 \
+  --rss-budget-mb="$STREAM_RSS_MB" --out="$OUT"
+grep -q '^paper-scale streamed replay' "$OUT/rss_report.csv" ||
+  { echo "FAIL: missing streamed-replay row in rss_report.csv"; exit 1; }
+echo "streamed replay OK (scale=$STREAM_SCALE, budget ${STREAM_RSS_MB} MB)"
 
 echo "== profiler overhead gate (bench_micro, limit ${OVERHEAD_LIMIT}x) =="
 run_micro() {

@@ -40,6 +40,7 @@
 #include "orbit/constellation.h"
 #include "sched/scheduler.h"
 #include "trace/record.h"
+#include "trace/stream.h"
 #include "util/ids.h"
 #include "util/units.h"
 
@@ -186,6 +187,16 @@ class Simulator {
   /// resulting metrics are bitwise identical for any thread count.
   void run(const std::vector<trace::Request>& requests);
 
+  /// Replay a chunked stream (trace::RequestStream) with O(chunk) memory.
+  ///
+  /// Double-buffered: while the variants replay chunk N, one extra
+  /// parallel_for slot pulls chunk N+1 from the stream and builds its
+  /// stage-1 request context, so generation/IO overlaps replay. Chunk-base
+  /// bookkeeping keeps the user-terminal rotation identical to the
+  /// materialized path, so metrics are bitwise identical to
+  /// run(collect(stream)) for any chunk size and thread count.
+  void run(trace::RequestStream& stream);
+
   /// Close the run: seals each variant's epoch series, merges the
   /// per-variant shards (registration order — deterministic), collects
   /// the hot-path profile, feeds every registered sink, and returns the
@@ -225,6 +236,32 @@ class Simulator {
     util::Rng rng;                         // latency sampling stream
     std::uint64_t request_counter = 0;     // drives user-terminal rotation
   };
+
+  /// Shared per-request context, hoisted out of the variant loop (stage 1):
+  /// the scheduler epoch, the first-contact lookup (once per request, and
+  /// once at the frozen epoch 0 when a kStatic variant is registered,
+  /// instead of once per variant), and whether the scheduler's reshuffle
+  /// handed this user to a different satellite than the previous epoch.
+  struct RequestContext {
+    util::EpochIdx epoch{0};
+    bool handover = false;       // first contact differs from epoch - 1's
+    sched::Candidate fc;         // first contact at the real epoch
+    sched::Candidate fc_static;  // first contact at the frozen epoch 0
+  };
+
+  /// Stage-1 fan-out over one chunk: each slot is a pure function of the
+  /// request index, seeded by `counter_base` (the shared request-counter
+  /// position at the chunk's first request).
+  void build_context(const trace::RequestView& view,
+                     std::uint64_t counter_base, bool need_static,
+                     std::vector<RequestContext>& ctx);
+  /// Stage-2 replay of one chunk for one variant, strictly in trace order.
+  /// `trace_epochs` is set for one variant only (or the trace timeline
+  /// would repeat per worker); `marked_epoch` carries its epoch-instant
+  /// dedup across chunks.
+  void replay_variant(VariantState& vs, const trace::RequestView& view,
+                      const std::vector<RequestContext>& ctx,
+                      bool trace_epochs, std::uint64_t& marked_epoch);
 
   void process(VariantState& vs, const trace::Request& r,
                util::EpochIdx sched_epoch, util::EpochIdx real_epoch,

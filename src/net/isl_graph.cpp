@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 namespace starcdn::net {
 
@@ -66,7 +65,9 @@ std::optional<std::vector<SatId>> IslGraph::l_path(SatelliteId a,
   };
   const int dp = signed_wrap(b.plane.value() - a.plane.value(), P);
   const int ds = signed_wrap(b.slot.value() - a.slot.value(), S);
-  std::vector<SatId> path{c.index_of(a)};
+  std::vector<SatId> path;
+  path.reserve(static_cast<std::size_t>(std::abs(dp) + std::abs(ds)) + 1);
+  path.push_back(c.index_of(a));
   SatelliteId cur = a;
   if (!c.active(c.index_of(cur))) return std::nullopt;
   for (int step = 0; step < std::abs(dp); ++step) {
@@ -87,15 +88,23 @@ std::optional<std::vector<SatId>> IslGraph::bfs_path(SatId from,
   const auto& c = *constellation_;
   // Parent table over linear indices: -2 unvisited, -1 the BFS root.
   std::vector<int> parent(static_cast<std::size_t>(c.size()), -2);
-  std::deque<SatId> queue;
+  // Flat frontier: each satellite enters at most once, so a monotonic
+  // vector with a head cursor replaces the deque (no per-pop bookkeeping,
+  // one allocation). Neighbor candidates are inlined to avoid the vector
+  // `neighbors()` would build per visited node.
+  std::vector<SatId> queue;
+  queue.reserve(static_cast<std::size_t>(c.size()));
   parent[util::as_index(from)] = -1;
   queue.push_back(from);
-  while (!queue.empty()) {
-    const SatId cur = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const SatId cur = queue[head];
     if (cur == to) break;
-    for (const SatId nbr : neighbors(cur)) {
-      if (parent[util::as_index(nbr)] == -2) {
+    if (!c.active(cur)) continue;
+    const SatelliteId id = c.id_of(cur);
+    for (const SatelliteId nbr_id : {c.intra_next(id), c.intra_prev(id),
+                                     c.inter_east(id), c.inter_west(id)}) {
+      const SatId nbr = c.index_of(nbr_id);
+      if (c.active(nbr) && parent[util::as_index(nbr)] == -2) {
         parent[util::as_index(nbr)] = cur.value();
         queue.push_back(nbr);
       }

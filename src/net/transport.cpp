@@ -151,10 +151,7 @@ void TcpChannel::close() {
   closed_ = true;
 }
 
-bool TcpChannel::closed() const {
-  const std::lock_guard lock(send_mu_);
-  return closed_;
-}
+bool TcpChannel::closed() const { return closed_; }
 
 std::unique_ptr<TcpChannel> TcpChannel::connect(const std::string& host,
                                                 std::uint16_t port) {

@@ -8,6 +8,7 @@
 // module's socket mode and its integration test).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -70,7 +71,9 @@ class TcpChannel final : public Channel {
   mutable std::mutex send_mu_;
   mutable std::mutex recv_mu_;
   int fd_ = -1;
-  bool closed_ = false;
+  // Written under send_mu_ (close) and recv_mu_ (peer shutdown), read under
+  // either — atomic so the cross-mutex accesses are race-free under TSan.
+  std::atomic<bool> closed_{false};
   FrameDecoder decoder_;
 };
 

@@ -137,12 +137,12 @@ Message rpc(Channel& ch, const Message& m) {
 
 ReplayReport replay_cluster(const orbit::Constellation& constellation,
                             const sched::LinkSchedule& schedule,
-                            const std::vector<trace::Request>& requests,
+                            trace::RequestStream& stream,
                             const ReplayConfig& config) {
   STARCDN_PROF_SCOPE("replay_cluster");
   const obs::TraceSpan span(
       obs::tracer(), "replay_cluster", "replay",
-      {obs::arg("requests", static_cast<std::uint64_t>(requests.size())),
+      {obs::arg("requests", stream.size_hint().value_or(0)),
        obs::arg("nodes", static_cast<std::int64_t>(constellation.size()))});
   const core::BucketMapper mapper(constellation, config.buckets);
   Cluster cluster = [&] {
@@ -158,7 +158,7 @@ ReplayReport replay_cluster(const orbit::Constellation& constellation,
     return *cluster.channels[util::as_index(constellation.index_of(id))];
   };
 
-  for (const auto& r : requests) {
+  const auto process = [&](const trace::Request& r) {
     ++report.requests;
     const util::EpochIdx epoch =
         schedule.epoch_of(util::Seconds{r.timestamp_s});
@@ -170,7 +170,7 @@ ReplayReport replay_cluster(const orbit::Constellation& constellation,
     if (fc.sat.value() < 0) {
       ++report.misses;
       report.uplink_bytes += r.size;
-      continue;
+      return;
     }
     const auto fc_id = constellation.id_of(fc.sat);
     const util::BucketId bucket = mapper.bucket_of_object(r.object);
@@ -185,7 +185,7 @@ ReplayReport replay_cluster(const orbit::Constellation& constellation,
     const Message resp = rpc(channel_of(serving), req);
     if (resp.flags & net::kFlagHit) {
       ++report.hits;
-      continue;
+      return;
     }
 
     // Relayed fetch: probe same-bucket west then east replicas.
@@ -220,6 +220,11 @@ ReplayReport replay_cluster(const orbit::Constellation& constellation,
     } else {
       ++report.misses;
     }
+  };
+
+  trace::RequestBlock block;
+  while (stream.next(block)) {
+    for (std::size_t i = 0; i < block.count(); ++i) process(block.at(i));
   }
 
   // Graceful shutdown so worker caches drain deterministically.
@@ -232,6 +237,14 @@ ReplayReport replay_cluster(const orbit::Constellation& constellation,
     ch->send(bye);
   }
   return report;
+}
+
+ReplayReport replay_cluster(const orbit::Constellation& constellation,
+                            const sched::LinkSchedule& schedule,
+                            const std::vector<trace::Request>& requests,
+                            const ReplayConfig& config) {
+  trace::VectorStream stream(requests);
+  return replay_cluster(constellation, schedule, stream, config);
 }
 
 }  // namespace starcdn::replay

@@ -17,6 +17,7 @@
 #include "orbit/constellation.h"
 #include "sched/scheduler.h"
 #include "trace/record.h"
+#include "trace/stream.h"
 
 namespace starcdn::replay {
 
@@ -48,8 +49,16 @@ struct ReplayReport {
   friend bool operator==(const ReplayReport&, const ReplayReport&) = default;
 };
 
+/// Replay a chunked time-ordered stream through a per-satellite worker
+/// cluster with O(chunk) trace memory. Throws std::runtime_error on
+/// transport failures.
+[[nodiscard]] ReplayReport replay_cluster(
+    const orbit::Constellation& constellation,
+    const sched::LinkSchedule& schedule, trace::RequestStream& stream,
+    const ReplayConfig& config);
+
 /// Replay `requests` (time-ordered) through a per-satellite worker cluster.
-/// Throws std::runtime_error on transport failures.
+/// Identical results to the stream overload on the same requests.
 [[nodiscard]] ReplayReport replay_cluster(
     const orbit::Constellation& constellation,
     const sched::LinkSchedule& schedule,

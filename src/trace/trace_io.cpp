@@ -11,6 +11,7 @@ namespace starcdn::trace {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'C', 'D', 'N', 'T', 'R', 'C', '1'};
+constexpr char kStreamMagic[8] = {'S', 'C', 'D', 'N', 'S', 'T', 'R', '1'};
 
 template <typename T>
 void put(std::ofstream& out, const T& v) {
@@ -69,6 +70,92 @@ LocationTrace read_binary(const std::string& path) {
     t.requests.push_back(r);
   }
   return t;
+}
+
+namespace {
+
+template <typename T>
+void put_array(std::ofstream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+void get_array(std::ifstream& in, std::vector<T>& v, std::size_t n) {
+  v.resize(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!in) throw std::runtime_error("trace stream read: truncated file");
+}
+
+class FileRequestStream final : public RequestStream {
+ public:
+  explicit FileRequestStream(const std::string& path)
+      : in_(path, std::ios::binary) {
+    if (!in_) {
+      throw std::runtime_error("open_binary_stream: cannot open " + path);
+    }
+    char magic[8];
+    in_.read(magic, sizeof magic);
+    if (!in_ || std::memcmp(magic, kStreamMagic, sizeof kStreamMagic) != 0) {
+      throw std::runtime_error("open_binary_stream: bad magic in " + path);
+    }
+    total_ = get<std::uint64_t>(in_);
+  }
+
+  [[nodiscard]] bool next(RequestBlock& out) override {
+    out.clear();
+    const auto n = get<std::uint32_t>(in_);
+    if (n == 0) return false;
+    get_array(in_, out.timestamp_s, n);
+    get_array(in_, out.object, n);
+    get_array(in_, out.size, n);
+    get_array(in_, out.location, n);
+    return true;
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
+    return total_;
+  }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace
+
+void write_binary_stream(RequestStream& stream, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("write_binary_stream: cannot open " + path);
+  }
+  out.write(kStreamMagic, sizeof kStreamMagic);
+  // Total request count, patched in after the terminating zero block —
+  // the actual drained count, not the stream's (optional) hint.
+  const auto total_at = out.tellp();
+  put(out, std::uint64_t{0});
+  std::uint64_t total = 0;
+  RequestBlock block;
+  while (stream.next(block)) {
+    if (block.empty()) continue;
+    put(out, static_cast<std::uint32_t>(block.count()));
+    put_array(out, block.timestamp_s);
+    put_array(out, block.object);
+    put_array(out, block.size);
+    put_array(out, block.location);
+    total += block.count();
+  }
+  put(out, std::uint32_t{0});
+  out.seekp(total_at);
+  put(out, total);
+  if (!out) {
+    throw std::runtime_error("write_binary_stream: write failed " + path);
+  }
+}
+
+std::unique_ptr<RequestStream> open_binary_stream(const std::string& path) {
+  return std::make_unique<FileRequestStream>(path);
 }
 
 void write_csv(const LocationTrace& trace, const std::string& path) {

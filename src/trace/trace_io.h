@@ -6,11 +6,18 @@
 //   u16 location    u16 name_len    bytes name
 //   u64 request_count
 //   request_count x { f64 timestamp_s, u64 object, u64 size, u16 location }
+// Streamed layout (magic "SCDNSTR1"): u64 total request count, then blocks
+// of u32 count followed by the block's SoA columns as packed arrays
+// (f64 timestamp_s[], u64 object[], u64 size[], u16 location[]); a zero
+// count terminates. Chunked both ways, so neither writing nor reading ever
+// materializes the trace.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "trace/record.h"
+#include "trace/stream.h"
 
 namespace starcdn::trace {
 
@@ -19,6 +26,16 @@ void write_binary(const LocationTrace& trace, const std::string& path);
 
 /// Read one location trace; throws std::runtime_error on IO/format errors.
 [[nodiscard]] LocationTrace read_binary(const std::string& path);
+
+/// Drain `stream` to the streamed binary format, one block per next();
+/// throws std::runtime_error on IO failure.
+void write_binary_stream(RequestStream& stream, const std::string& path);
+
+/// Open a streamed binary trace for chunked reading; blocks come back with
+/// the sizes they were written with. Throws std::runtime_error on IO/format
+/// errors (including, lazily, from next() on truncation).
+[[nodiscard]] std::unique_ptr<RequestStream> open_binary_stream(
+    const std::string& path);
 
 /// CSV with header "timestamp_s,object,size,location".
 void write_csv(const LocationTrace& trace, const std::string& path);

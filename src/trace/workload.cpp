@@ -20,21 +20,6 @@ const char* to_string(TrafficClass c) noexcept {
   return "?";
 }
 
-std::vector<Request> merge_by_time(const MultiTrace& traces) {
-  std::vector<Request> all;
-  std::size_t total = 0;
-  for (const auto& t : traces) total += t.requests.size();
-  all.reserve(total);
-  for (const auto& t : traces) {
-    all.insert(all.end(), t.requests.begin(), t.requests.end());
-  }
-  std::stable_sort(all.begin(), all.end(),
-                   [](const Request& a, const Request& b) {
-                     return a.timestamp_s < b.timestamp_s;
-                   });
-  return all;
-}
-
 WorkloadParams default_params(TrafficClass c) {
   WorkloadParams p;
   p.traffic_class = c;
@@ -226,21 +211,36 @@ LocationTrace WorkloadModel::generate_city(std::size_t city,
                              (minute + rng.uniform()) * util::kMinute.value());
     out.requests.push_back(r);
   }
-  std::sort(out.requests.begin(), out.requests.end(),
-            [](const Request& a, const Request& b) {
-              return a.timestamp_s < b.timestamp_s;
-            });
+  // Stable: requests with equal timestamps (the end-of-day clamp can
+  // collide) keep draw order. This is the tie-break contract the streaming
+  // generator (generate_stream) reproduces per time window, so the two
+  // paths stay bitwise identical.
+  std::stable_sort(out.requests.begin(), out.requests.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.timestamp_s < b.timestamp_s;
+                   });
   return out;
+}
+
+std::size_t WorkloadModel::city_request_count(std::size_t city) const {
+  return static_cast<std::size_t>(
+      static_cast<double>(params_.requests_per_weight) *
+      (*cities_)[city].traffic_weight);
+}
+
+std::uint64_t WorkloadModel::total_request_count() const {
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < cities_->size(); ++c) {
+    total += city_request_count(c);
+  }
+  return total;
 }
 
 MultiTrace WorkloadModel::generate() const {
   MultiTrace out;
   out.reserve(cities_->size());
   for (std::size_t c = 0; c < cities_->size(); ++c) {
-    const auto n = static_cast<std::size_t>(
-        static_cast<double>(params_.requests_per_weight) *
-        (*cities_)[c].traffic_weight);
-    out.push_back(generate_city(c, n));
+    out.push_back(generate_city(c, city_request_count(c)));
   }
   return out;
 }

@@ -18,9 +18,11 @@
 // arrivals modulated by a diurnal profile in the city's local time.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "trace/record.h"
+#include "trace/stream.h"
 #include "trace/zipf.h"
 #include "util/geo.h"
 #include "util/rng.h"
@@ -67,6 +69,20 @@ struct WorkloadParams {
 /// 642TB; downloads: 472M reqs/372TB).
 [[nodiscard]] WorkloadParams default_params(TrafficClass c);
 
+/// Tuning for WorkloadModel::generate_stream. Both knobs trade memory for
+/// speed only — the emitted request sequence is identical for any values.
+struct StreamParams {
+  /// Requests per yielded RequestBlock.
+  std::size_t chunk_requests = kDefaultChunkRequests;
+  /// Target number of requests (summed over cities) materialized per
+  /// emission window. Peak generator memory is O(window); generation cost
+  /// grows with the window *count* (each window replays every city's RNG
+  /// stream in skip mode), so bigger windows are faster and fatter. The
+  /// default (~4M requests, ~100 MB of window buffers) keeps a paper-scale
+  /// day under a dozen replay passes.
+  std::size_t window_requests = 4u << 20;
+};
+
 /// A generated object universe plus per-city popularity tables.
 class WorkloadModel {
  public:
@@ -96,7 +112,30 @@ class WorkloadModel {
                                             std::size_t n_requests,
                                             std::uint64_t salt = 0) const;
 
+  /// Requests generate() draws for one city (requests_per_weight scaled by
+  /// the city's traffic weight), and their sum — the analytic trace length,
+  /// available without generating anything.
+  [[nodiscard]] std::size_t city_request_count(std::size_t city) const;
+  [[nodiscard]] std::uint64_t total_request_count() const;
+
+  /// Bounded-memory, globally time-ordered generator: bitwise identical to
+  /// merge_by_time(generate()) — same requests, same order — but with
+  /// O(StreamParams::window_requests) peak memory instead of O(trace).
+  ///
+  /// How: per-city draws replay the exact per-city salted RNG stream of
+  /// generate_city in two passes. A counting pass (parallel over cities on
+  /// the PR-1 pool) consumes each draw without the object binary search and
+  /// histograms requests per minute; minutes are then partitioned into
+  /// windows of ~window_requests total. Each window re-replays every city's
+  /// stream, paying the object lookup only for in-window draws, stable-sorts
+  /// the per-city window buffers by timestamp (= generate_city's tie-break)
+  /// and k-way merges them through a loser tree keyed (timestamp, city).
+  /// The stream keeps a reference to this model; the model must outlive it.
+  [[nodiscard]] std::unique_ptr<RequestStream> generate_stream(
+      const StreamParams& sp = {}) const;
+
  private:
+  friend class WorkloadStream;
   void build_universe();
   void build_city_tables();
   [[nodiscard]] std::vector<double> diurnal_minute_weights(

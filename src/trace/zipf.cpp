@@ -43,7 +43,11 @@ DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
 }
 
 std::size_t DiscreteSampler::sample(util::Rng& rng) const {
-  const double u = rng.uniform() * total_;
+  return index_of(rng.uniform());
+}
+
+std::size_t DiscreteSampler::index_of(double unit) const noexcept {
+  const double u = unit * total_;
   const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
   return std::min(static_cast<std::size_t>(it - cdf_.begin()),
                   cdf_.size() - 1);

@@ -1,0 +1,14 @@
+// Process memory introspection for the bounded-memory streaming contract:
+// the bench harness prints (and optionally asserts a budget on) the peak
+// resident set after a paper-scale streamed replay.
+#pragma once
+
+#include <cstdint>
+
+namespace starcdn::util {
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss);
+/// 0 when the platform does not report it.
+[[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
+
+}  // namespace starcdn::util

@@ -1,0 +1,404 @@
+// The streaming trace pipeline's contract (DESIGN.md §12): chunked streams
+// are *bitwise* equivalent to the materialized path — same requests, same
+// order, same simulator metrics — for any chunk size, window size and
+// thread count; and the loser-tree merge reproduces merge_by_time's stable
+// tie-break exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "sched/scheduler.h"
+#include "trace/stream.h"
+#include "trace/trace_io.h"
+#include "trace/workload.h"
+#include "util/geo.h"
+#include "util/loser_tree.h"
+#include "util/parallel.h"
+
+namespace starcdn {
+namespace {
+
+struct ThreadOverrideGuard {
+  explicit ThreadOverrideGuard(int n) { util::set_parallel_threads(n); }
+  ~ThreadOverrideGuard() { util::set_parallel_threads(0); }
+};
+
+// --- LoserTree ---------------------------------------------------------------
+
+/// Merge sorted integer sources through the tree, tie-breaking on source
+/// index — the reference is a concatenate + stable_sort.
+std::vector<int> tree_merge(const std::vector<std::vector<int>>& sources) {
+  std::vector<std::size_t> pos(sources.size(), 0);
+  const auto less = [&](std::size_t a, std::size_t b) {
+    const bool ea = pos[a] >= sources[a].size();
+    const bool eb = pos[b] >= sources[b].size();
+    if (ea || eb) return !ea && eb;
+    if (sources[a][pos[a]] != sources[b][pos[b]]) {
+      return sources[a][pos[a]] < sources[b][pos[b]];
+    }
+    return a < b;
+  };
+  util::LoserTree<decltype(less)> tree(sources.size(), less);
+  std::size_t total = 0;
+  for (const auto& s : sources) total += s.size();
+  std::vector<int> out;
+  out.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    out.push_back(sources[tree.winner()][pos[tree.winner()]]);
+    ++pos[tree.winner()];
+    tree.replayed();
+  }
+  return out;
+}
+
+TEST(LoserTree, MergesSortedSourcesWithStableTieBreak) {
+  const std::vector<std::vector<int>> sources = {
+      {1, 4, 4, 9}, {2, 4, 7}, {}, {0, 4, 4, 4, 12}, {4}};
+  const auto merged = tree_merge(sources);
+  const std::vector<int> expect = {0, 1, 2, 4, 4, 4, 4, 4, 4, 4, 7, 9, 12};
+  EXPECT_EQ(merged, expect);
+}
+
+TEST(LoserTree, SingleAndEmptySourceCounts) {
+  EXPECT_EQ(tree_merge({{3, 5, 8}}), (std::vector<int>{3, 5, 8}));
+  EXPECT_EQ(tree_merge({}), std::vector<int>{});
+  EXPECT_EQ(tree_merge({{}, {}}), std::vector<int>{});
+}
+
+TEST(LoserTree, NonPowerOfTwoSourceCounts) {
+  for (std::size_t k = 1; k <= 9; ++k) {
+    std::vector<std::vector<int>> sources(k);
+    std::vector<int> expect;
+    for (std::size_t s = 0; s < k; ++s) {
+      for (int v = static_cast<int>(s); v < 40; v += static_cast<int>(k)) {
+        sources[s].push_back(v);
+        expect.push_back(v);
+      }
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(tree_merge(sources), expect) << "k=" << k;
+  }
+}
+
+// --- merge_by_time on the loser tree -----------------------------------------
+
+/// The pre-loser-tree implementation, kept as the ordering reference: the
+/// merge must stay byte-for-byte compatible with concatenation in trace
+/// order + stable sort by timestamp.
+std::vector<trace::Request> legacy_merge(const trace::MultiTrace& traces) {
+  std::vector<trace::Request> all;
+  for (const auto& t : traces) {
+    all.insert(all.end(), t.requests.begin(), t.requests.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const trace::Request& a, const trace::Request& b) {
+                     return a.timestamp_s < b.timestamp_s;
+                   });
+  return all;
+}
+
+void expect_same_requests(const std::vector<trace::Request>& a,
+                          const std::vector<trace::Request>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].timestamp_s, b[i].timestamp_s) << "request " << i;
+    ASSERT_EQ(a[i].object, b[i].object) << "request " << i;
+    ASSERT_EQ(a[i].size, b[i].size) << "request " << i;
+    ASSERT_EQ(a[i].location, b[i].location) << "request " << i;
+  }
+}
+
+trace::MultiTrace traces_with_ties() {
+  // Deliberate cross-trace timestamp ties: the stable tie-break (earlier
+  // trace first) is exactly what the loser tree must reproduce.
+  trace::MultiTrace traces(3);
+  for (std::uint16_t t = 0; t < 3; ++t) {
+    traces[t].location = t;
+    for (int i = 0; i < 50; ++i) {
+      trace::Request r;
+      r.timestamp_s = static_cast<double>(i / 2);  // ties within & across
+      r.object = static_cast<trace::ObjectId>(1000 * t + i);
+      r.size = 100 + t;
+      r.location = t;
+      traces[t].requests.push_back(r);
+    }
+  }
+  traces.push_back({});  // empty trailing trace
+  return traces;
+}
+
+TEST(MergeByTime, PinsLegacyStableOrdering) {
+  const auto traces = traces_with_ties();
+  expect_same_requests(trace::merge_by_time(traces), legacy_merge(traces));
+}
+
+TEST(MergeByTime, WorkloadTracesMatchLegacyOrdering) {
+  auto p = trace::default_params(trace::TrafficClass::kVideo);
+  p.object_count = 5'000;
+  p.requests_per_weight = 2'000;
+  p.duration_s = util::kHour.value();
+  const trace::WorkloadModel model(util::paper_cities(), p);
+  const auto traces = model.generate();
+  expect_same_requests(trace::merge_by_time(traces), legacy_merge(traces));
+}
+
+// --- Stream adapters ---------------------------------------------------------
+
+TEST(RequestStream, VectorStreamRoundTripsAtAnyChunk) {
+  const auto traces = traces_with_ties();
+  const auto merged = trace::merge_by_time(traces);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  trace::kDefaultChunkRequests}) {
+    trace::VectorStream stream(merged, chunk);
+    ASSERT_EQ(stream.size_hint(), merged.size());
+    expect_same_requests(trace::collect(stream), merged);
+  }
+}
+
+TEST(RequestStream, MultiTraceStreamMatchesMergeByTime) {
+  const auto traces = traces_with_ties();
+  const auto merged = trace::merge_by_time(traces);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  trace::kDefaultChunkRequests}) {
+    trace::MultiTraceStream stream(traces, chunk);
+    ASSERT_EQ(stream.size_hint(), merged.size());
+    expect_same_requests(trace::collect(stream), merged);
+  }
+}
+
+TEST(RequestStream, BlocksNeverEmptyAndRespectChunkSize) {
+  const auto traces = traces_with_ties();
+  trace::MultiTraceStream stream(traces, 16);
+  trace::RequestBlock block;
+  std::size_t total = 0;
+  while (stream.next(block)) {
+    ASSERT_FALSE(block.empty());
+    ASSERT_LE(block.count(), 16u);
+    total += block.count();
+  }
+  EXPECT_EQ(total, *stream.size_hint());
+  EXPECT_TRUE(block.empty());  // next() leaves the block empty at EOS
+}
+
+TEST(RequestStream, FileRoundTripPreservesBlocksAndRequests) {
+  const auto traces = traces_with_ties();
+  const auto merged = trace::merge_by_time(traces);
+  const std::string path = testing::TempDir() + "stream_roundtrip.bin";
+
+  trace::MultiTraceStream writer_src(traces, 13);
+  trace::write_binary_stream(writer_src, path);
+
+  const auto reader = trace::open_binary_stream(path);
+  ASSERT_EQ(reader->size_hint(), merged.size());
+  trace::RequestBlock block;
+  std::vector<trace::Request> back;
+  while (reader->next(block)) {
+    ASSERT_FALSE(block.empty());
+    ASSERT_LE(block.count(), 13u);  // written block sizes preserved
+    for (std::size_t i = 0; i < block.count(); ++i) {
+      back.push_back(block.at(i));
+    }
+  }
+  expect_same_requests(back, merged);
+  std::remove(path.c_str());
+}
+
+// --- generate_stream ---------------------------------------------------------
+
+trace::WorkloadParams small_params() {
+  auto p = trace::default_params(trace::TrafficClass::kVideo);
+  p.object_count = 5'000;
+  p.requests_per_weight = 2'000;
+  p.duration_s = util::kHour.value();
+  return p;
+}
+
+TEST(GenerateStream, BitwiseMatchesMaterializedAcrossChunkAndWindow) {
+  const trace::WorkloadModel model(util::paper_cities(), small_params());
+  const auto merged = trace::merge_by_time(model.generate());
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  trace::kDefaultChunkRequests}) {
+    for (const std::size_t window :
+         {std::size_t{64}, std::size_t{4096}, std::size_t{1} << 22}) {
+      SCOPED_TRACE("chunk=" + std::to_string(chunk) +
+                   " window=" + std::to_string(window));
+      const auto stream = model.generate_stream({chunk, window});
+      ASSERT_EQ(stream->size_hint(), merged.size());
+      expect_same_requests(trace::collect(*stream), merged);
+    }
+  }
+}
+
+TEST(GenerateStream, ThreadCountInvariant) {
+  const trace::WorkloadModel model(util::paper_cities(), small_params());
+  const auto merged = trace::merge_by_time(model.generate());
+  for (const int threads : {1, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadOverrideGuard guard(threads);
+    const auto stream = model.generate_stream({1024, 2048});
+    expect_same_requests(trace::collect(*stream), merged);
+  }
+}
+
+TEST(GenerateStream, EmptyCityAndSingleRequestEdgeCases) {
+  std::vector<util::City> cities = {
+      {"quiet", {48.0, 11.0}, 0.0, "de"},     // zero traffic weight
+      {"busy", {51.5, -0.1}, 1.0, "en-gb"},
+      {"silent", {40.7, -74.0}, 0.0, "en-us"},
+  };
+  auto p = trace::default_params(trace::TrafficClass::kVideo);
+  p.object_count = 500;
+  p.duration_s = util::kHour.value();
+
+  p.requests_per_weight = 1;  // exactly one request, from the busy city
+  {
+    const trace::WorkloadModel model(cities, p);
+    EXPECT_EQ(model.total_request_count(), 1u);
+    const auto merged = trace::merge_by_time(model.generate());
+    ASSERT_EQ(merged.size(), 1u);
+    const auto stream = model.generate_stream({1, 1});
+    expect_same_requests(trace::collect(*stream), merged);
+  }
+
+  p.requests_per_weight = 300;
+  {
+    const trace::WorkloadModel model(cities, p);
+    const auto merged = trace::merge_by_time(model.generate());
+    ASSERT_EQ(merged.size(), 300u);
+    for (const auto& r : merged) EXPECT_EQ(r.location, 1);
+    const auto stream = model.generate_stream({17, 64});
+    expect_same_requests(trace::collect(*stream), merged);
+  }
+}
+
+TEST(GenerateStream, AllCitiesEmptyYieldsNothing) {
+  // Per-city counts truncate to zero: weight * requests_per_weight < 1.
+  std::vector<util::City> cities = {{"a", {0.0, 0.0}, 0.0, "x"},
+                                    {"b", {1.0, 1.0}, 0.9, "y"}};
+  auto p = trace::default_params(trace::TrafficClass::kVideo);
+  p.object_count = 100;
+  p.requests_per_weight = 1;
+  const trace::WorkloadModel model(cities, p);
+  const auto stream = model.generate_stream();
+  ASSERT_EQ(stream->size_hint(), 0u);
+  trace::RequestBlock block;
+  EXPECT_FALSE(stream->next(block));
+}
+
+// --- Simulator::run(RequestStream&) ------------------------------------------
+
+void expect_identical_metrics(const core::VariantMetrics& a,
+                              const core::VariantMetrics& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.local_hits, b.local_hits);
+  EXPECT_EQ(a.routed_hits, b.routed_hits);
+  EXPECT_EQ(a.relay_west_hits, b.relay_west_hits);
+  EXPECT_EQ(a.relay_east_hits, b.relay_east_hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.unreachable, b.unreachable);
+  EXPECT_EQ(a.transient_misses, b.transient_misses);
+  EXPECT_EQ(a.handovers, b.handovers);
+  EXPECT_EQ(a.bytes_requested, b.bytes_requested);
+  EXPECT_EQ(a.bytes_hit, b.bytes_hit);
+  EXPECT_EQ(a.uplink_bytes, b.uplink_bytes);
+  EXPECT_EQ(a.isl_bytes, b.isl_bytes);
+  EXPECT_EQ(a.prefetch_bytes, b.prefetch_bytes);
+  // Uplink meter statistics see identical (satellite, epoch) cells only if
+  // the stream path defers its flush to the end of the run.
+  EXPECT_EQ(a.uplink_meter.total_bytes(), b.uplink_meter.total_bytes());
+  EXPECT_EQ(a.uplink_meter.throughput_gbps().count(),
+            b.uplink_meter.throughput_gbps().count());
+  EXPECT_EQ(a.uplink_meter.throughput_gbps().mean(),
+            b.uplink_meter.throughput_gbps().mean());
+  ASSERT_EQ(a.latency_ms.count(), b.latency_ms.count());
+  EXPECT_EQ(a.latency_ms.median(), b.latency_ms.median());
+  EXPECT_EQ(a.latency_ms.quantile(0.99), b.latency_ms.quantile(0.99));
+}
+
+TEST(SimulatorStream, BitwiseMatchesMaterializedAcrossChunksAndThreads) {
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  const trace::WorkloadModel workload(util::paper_cities(), small_params());
+  const auto requests = trace::merge_by_time(workload.generate());
+  const sched::LinkSchedule schedule(shell, util::paper_cities(),
+                                     util::Seconds{small_params().duration_s});
+
+  const std::vector<core::Variant> variants = {
+      core::Variant::kStatic,     core::Variant::kStarCdn,
+      core::Variant::kHashOnly,   core::Variant::kRelayOnly,
+      core::Variant::kVanillaLru, core::Variant::kPrefetch};
+  core::SimConfig cfg;
+  cfg.cache_capacity = util::mib(64);
+  cfg.buckets = 4;
+  cfg.transient_down_prob = 0.02;
+
+  auto simulate = [&](int threads, std::size_t chunk) {
+    ThreadOverrideGuard guard(threads);
+    auto sim = std::make_unique<core::Simulator>(shell, schedule, cfg);
+    for (const auto v : variants) sim->add_variant(v);
+    if (chunk == 0) {
+      sim->run(requests);
+    } else {
+      trace::VectorStream stream(requests, chunk);
+      sim->run(stream);
+    }
+    return sim;
+  };
+
+  const auto reference = simulate(1, 0);
+  for (const int threads : {1, 4, 8}) {
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    trace::kDefaultChunkRequests}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " chunk=" + std::to_string(chunk));
+      const auto streamed = simulate(threads, chunk);
+      for (const auto v : variants) {
+        SCOPED_TRACE(core::to_string(v));
+        expect_identical_metrics(reference->metrics(v),
+                                 streamed->metrics(v));
+      }
+    }
+  }
+}
+
+TEST(SimulatorStream, GeneratedStreamMatchesMaterializedEndToEnd) {
+  // The full pipeline: generate_stream -> Simulator::run(stream) equals
+  // generate + merge_by_time + run(vector), with no materialization on the
+  // stream side.
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  const trace::WorkloadModel workload(util::paper_cities(), small_params());
+  const sched::LinkSchedule schedule(shell, util::paper_cities(),
+                                     util::Seconds{small_params().duration_s});
+  core::SimConfig cfg;
+  cfg.cache_capacity = util::mib(64);
+
+  core::Simulator materialized(shell, schedule, cfg);
+  materialized.add_variant(core::Variant::kStarCdn);
+  materialized.run(trace::merge_by_time(workload.generate()));
+
+  core::Simulator streamed(shell, schedule, cfg);
+  streamed.add_variant(core::Variant::kStarCdn);
+  const auto stream = workload.generate_stream({1024, 8192});
+  streamed.run(*stream);
+
+  expect_identical_metrics(materialized.metrics(core::Variant::kStarCdn),
+                           streamed.metrics(core::Variant::kStarCdn));
+}
+
+TEST(SimulatorStream, EmptyStreamIsANoOp) {
+  const orbit::Constellation shell{orbit::WalkerParams{}};
+  const sched::LinkSchedule schedule(shell, util::paper_cities(),
+                                     util::Seconds{30 * 60.0});
+  core::SimConfig cfg;
+  core::Simulator sim(shell, schedule, cfg);
+  sim.add_variant(core::Variant::kStarCdn);
+  const std::vector<trace::Request> none;
+  trace::VectorStream stream(none, 64);
+  sim.run(stream);
+  EXPECT_EQ(sim.metrics(core::Variant::kStarCdn).requests, 0u);
+}
+
+}  // namespace
+}  // namespace starcdn
